@@ -1,0 +1,97 @@
+"""C1 — throughput and latency scaling with cluster size.
+
+The paper's core scalability claim: because no user transaction ever
+waits for coordination, 3V's per-node throughput and latency are flat as
+nodes are added, tracking the no-coordination lower bound; global 2PL+2PC
+degrades with node count (lock hold times include network round trips)
+and sheds load through wait-die aborts.
+
+Offered load scales with the cluster (2 updates/s and 1 inquiry/s per
+node), so a scalable system shows constant *per-node* goodput.
+"""
+
+from conftest import save_table
+
+from repro.analysis import (
+    Table,
+    latency_summary,
+    max_remote_wait,
+    mean_ci,
+    throughput,
+)
+from repro.workloads import run_recording_experiment
+
+NODE_COUNTS = (2, 4, 8, 16, 32)
+DURATION = 30.0
+SEEDS = (13, 14, 15)
+
+
+def run(protocol: str, nodes: int, seed: int):
+    return run_recording_experiment(
+        protocol,
+        nodes=nodes,
+        duration=DURATION,
+        update_rate=2.0 * nodes,
+        inquiry_rate=1.0 * nodes,
+        audit_rate=0.1,
+        entities=25 * nodes,
+        span=2,
+        seed=seed,
+        amount_mode="money",
+        detail=False,
+    )
+
+
+def test_c1_scaling(benchmark):
+    benchmark.pedantic(lambda: run("3v", 4, 13), rounds=2, iterations=1)
+    table = Table(
+        "C1: Scaling with cluster size "
+        "(offered: 2 upd/s + 1 inq/s per node, 30s, 3 seeds)",
+        ["system", "nodes", "upd goodput/node (95% CI)", "upd p95 latency",
+         "read p95 latency", "abort %", "max remote wait"],
+        precision=3,
+    )
+    goodput = {}
+    for protocol in ("3v", "nocoord", "manual", "2pc"):
+        for nodes in NODE_COUNTS:
+            per_seed = []
+            aborted = total = 0
+            update_p95 = read_p95 = remote = 0.0
+            for seed in SEEDS:
+                result = run(protocol, nodes, seed)
+                history = result.history
+                per_seed.append(
+                    throughput(history, DURATION, kind="update") / nodes
+                )
+                aborted += len(history.aborted_txns())
+                total += len(history.txns)
+                update_p95 = max(
+                    update_p95, latency_summary(history, kind="update").p95
+                )
+                read_p95 = max(
+                    read_p95,
+                    latency_summary(history, kind="read", which="global").p95,
+                )
+                remote = max(remote, max_remote_wait(history))
+            ci = mean_ci(per_seed)
+            goodput[(protocol, nodes)] = ci.mean
+            table.add(
+                protocol,
+                nodes,
+                str(ci),
+                update_p95,
+                read_p95,
+                100.0 * aborted / total if total else 0.0,
+                remote,
+            )
+    save_table("c1_scaling", table)
+
+    # Shape assertions: 3V per-node goodput flat (within 15% of offered);
+    # 2PC visibly below 3V at every size and degrading relative to it.
+    for nodes in NODE_COUNTS:
+        assert goodput[("3v", nodes)] > 2.0 * 0.85
+        assert goodput[("2pc", nodes)] < goodput[("3v", nodes)]
+    assert (
+        goodput[("2pc", 32)] / goodput[("3v", 32)]
+        < goodput[("2pc", 2)] / goodput[("3v", 2)] + 0.25
+    )

@@ -1,0 +1,101 @@
+"""C3 — the staleness/correctness trade-off: 3V vs manual versioning.
+
+Manual versioning has one knob, the safety delay: "the delay ... is
+usually set conservatively high.  This introduces additional (and often
+unnecessary) staleness".  This benchmark sweeps that delay under light
+and heavy network tails and reports, side by side, the staleness paid
+and the fractured reads still suffered.
+
+Manual versioning here is exactly *3V minus its two mechanisms* — no
+dual-write rule and no counter-based termination detection — so the
+fractures it shows are precisely what those mechanisms buy:
+
+* late stragglers: a version-``k`` subtransaction landing after the
+  safety delay expires (fixable by a larger delay, at staleness cost);
+* early forks: a version-``k+1`` copy created *before* a version-``k``
+  subtransaction lands on that node (no delay fixes this — only the
+  dual-write rule does).
+
+3V needs no delay at all: its counter scheme waits exactly as long as the
+stragglers take, and the dual-write rule repairs the forks.
+"""
+
+from conftest import save_table
+
+from repro.analysis import Table, audit, staleness_summary
+from repro.net import UniformLatency
+from repro.sim import LogNormal
+from repro.workloads import run_recording_experiment
+
+PERIOD = 8.0
+DELAYS = (1.0, 8.0, 32.0)
+SIGMAS = (0.3, 1.2)
+
+
+def settings(sigma: float):
+    return dict(
+        nodes=6, duration=120.0, update_rate=8.0, inquiry_rate=8.0,
+        audit_rate=0.3, entities=10, span=3, seed=41,
+        amount_mode="bitmask",
+        latency=UniformLatency(LogNormal(mean=1.0, sigma=sigma)),
+    )
+
+
+def run_3v(sigma: float):
+    result = run_recording_experiment(
+        "3v", advancement_period=PERIOD, **settings(sigma)
+    )
+    report = audit(result.history, result.workload, check_snapshots=True)
+    return staleness_summary(result.history), report
+
+
+def run_manual(sigma: float, delay: float):
+    result = run_recording_experiment(
+        "manual", advancement_period=PERIOD, safety_delay=delay,
+        **settings(sigma),
+    )
+    report = audit(result.history)
+    closed = dict(result.system.version_closed_at)
+    closed.setdefault(0, 0.0)
+    return staleness_summary(result.history, closed_at=closed), report
+
+
+def test_c3_staleness_vs_correctness(benchmark):
+    benchmark.pedantic(lambda: run_3v(0.3), rounds=1, iterations=1)
+    table = Table(
+        "C3: Staleness paid vs fractures suffered "
+        "(period 8s, 120s, bitmask oracle)",
+        ["latency tail", "system", "mean staleness", "p95 staleness",
+         "fractured", "fractured %"],
+        precision=2,
+    )
+    measured = {}
+    for sigma in SIGMAS:
+        tail = f"sigma={sigma}"
+        staleness, report = run_3v(sigma)
+        measured[(sigma, "3v")] = (staleness.mean, report.fractured_reads)
+        table.add(tail, "3v (no delay needed)", staleness.mean,
+                  staleness.p95, report.fractured_reads,
+                  100 * report.fractured_rate)
+        for delay in DELAYS:
+            staleness, report = run_manual(sigma, delay)
+            measured[(sigma, delay)] = (
+                staleness.mean, report.fractured_reads,
+            )
+            table.add(tail, f"manual (delay {delay:g}s)", staleness.mean,
+                      staleness.p95, report.fractured_reads,
+                      100 * report.fractured_rate)
+    save_table("c3_staleness", table)
+
+    for sigma in SIGMAS:
+        # 3V: always consistent.
+        assert measured[(sigma, "3v")][1] == 0
+        # Manual: fractures at every delay (the fork race is
+        # delay-independent) ...
+        for delay in DELAYS:
+            assert measured[(sigma, delay)][1] > 0
+        # ... while staleness grows with the delay.
+        assert measured[(sigma, 32.0)][0] > measured[(sigma, 1.0)][0]
+    # Under light tails, the conservatively-delayed manual config is
+    # *both* staler than 3V and still inconsistent.
+    assert measured[(0.3, "3v")][0] < measured[(0.3, 32.0)][0]

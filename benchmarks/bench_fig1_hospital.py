@@ -1,0 +1,46 @@
+"""F1 — the Figure 1 hospital scenario as a workload.
+
+Concurrent visit transactions and balance inquiries through a front-end,
+exactly the concurrency pattern of Figure 1: the inquiry must either see
+all of a visit's charges or none of them.  The table reports, per system,
+whether that guarantee held under load.
+"""
+
+from conftest import save_table
+
+from repro.analysis import Table, audit, latency_summary
+from repro.workloads import run_recording_experiment
+
+SETTINGS = dict(
+    nodes=6, duration=40.0, update_rate=6.0, inquiry_rate=4.0,
+    audit_rate=0.2, entities=20, span=3, seed=7, amount_mode="bitmask",
+)
+
+
+def run(protocol: str):
+    kwargs = dict(SETTINGS)
+    if protocol == "manual":
+        kwargs.update(advancement_period=10.0, safety_delay=2.0)
+    return run_recording_experiment(protocol, **kwargs)
+
+
+def test_fig1_hospital(benchmark):
+    benchmark.pedantic(lambda: run("3v"), rounds=2, iterations=1)
+    table = Table(
+        "F1: Hospital visits vs balance inquiries (atomic visibility)",
+        ["system", "inquiries checked", "fractured", "fractured %",
+         "inquiry p95 latency"],
+        precision=2,
+    )
+    fractured = {}
+    for protocol in ("3v", "nocoord", "manual", "2pc"):
+        result = run(protocol)
+        report = audit(result.history)
+        reads = latency_summary(result.history, kind="read", which="global")
+        fractured[protocol] = report.fractured_reads
+        table.add(protocol, report.reads_checked, report.fractured_reads,
+                  100.0 * report.fractured_rate, reads.p95)
+    save_table("f1_hospital", table)
+    assert fractured["3v"] == 0
+    assert fractured["2pc"] == 0
+    assert fractured["nocoord"] > 0

@@ -1,0 +1,73 @@
+"""F2 — regenerate Figure 2 (version-state snapshots of the example).
+
+Captures the store contents of all three sites at the paper's four
+moments — start, after time 12, after time 20, eventually — and checks
+each panel against the protocol-derived ground truth.
+"""
+
+from conftest import save_text
+
+from repro.workloads.paper_example import (
+    DELTAS,
+    INITIAL,
+    expected_final_state,
+    run_example,
+)
+
+PANELS = [
+    ("start state", 0.5),
+    ("after time 12", 12.0),
+    ("after time 20", 20.0),
+]
+
+
+def render(run) -> str:
+    lines = ["F2: Example scenario version states (paper Figure 2)",
+             "=" * 52]
+    panels = dict(run.snapshots)
+    final = {}
+    for node in run.system.nodes.values():
+        final.update(node.store.snapshot())
+    panels["eventually"] = final
+    for name in [title for title, _t in PANELS] + ["eventually"]:
+        lines.append(f"--- {name} ---")
+        snapshot = panels[name]
+        for key in sorted(snapshot):
+            chain = snapshot[key]
+            lines.append(
+                "  " + key + ": "
+                + "  ".join(f"v{v}={chain[v]}" for v in sorted(chain))
+            )
+    return "\n".join(lines)
+
+
+def test_fig2_snapshots(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_example(snapshot_times=PANELS), rounds=3, iterations=1
+    )
+    start = run.snapshots["start state"]
+    assert all(list(chain) == [0] for chain in start.values())
+
+    # After time 12: j wrote D(2); jp wrote A(2) (p inferred advancement);
+    # iq still in flight, so D(1) does not exist yet.
+    t12 = run.snapshots["after time 12"]
+    assert sorted(t12["A"]) == [0, 1, 2]
+    assert sorted(t12["D"]) == [0, 2]
+    assert t12["D"][2] == INITIAL["D"] + DELTAS[("j", "D")]
+
+    # After time 20: iq landed (dual write on D), iqp wrote B(1).
+    t20 = run.snapshots["after time 20"]
+    assert sorted(t20["D"]) == [0, 1, 2]
+    assert t20["D"][1] == INITIAL["D"] + DELTAS[("iq", "D")]
+    assert t20["D"][2] == (
+        INITIAL["D"] + DELTAS[("iq", "D")] + DELTAS[("j", "D")]
+    )
+    assert t20["B"][1] == INITIAL["B"] + DELTAS[("iqp", "B")]
+    assert sorted(t20["E"]) == [0, 1]  # no version-2 copy: no dual write
+
+    final = {}
+    for node in run.system.nodes.values():
+        final.update(node.store.snapshot())
+    assert final == expected_final_state()
+
+    save_text("f2_snapshots", render(run))

@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the substrate itself.
+
+Not a paper artefact — these keep the simulator honest as a measurement
+instrument: they report how many simulated events, store writes, and
+whole transactions per wall-second the substrate sustains, so regressions
+in the kernel show up before they distort experiment runtimes.
+"""
+
+from repro.sim import Simulator
+from repro.storage import Increment, MVStore, SlotStore
+from repro.workloads import run_recording_experiment
+
+
+def drain_kernel(events: int = 20_000) -> float:
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(events):
+            yield sim.timeout(0.001)
+
+    sim.process(ticker())
+    sim.run()
+    return sim.now
+
+
+def hammer_store(store_class, writes: int = 20_000):
+    store = store_class()
+    store.load("k", 0)
+    store.ensure_version("k", 1)
+    op = Increment(1)
+    for _ in range(writes):
+        store.apply_geq("k", 1, op)
+    return store.get_exact("k", 1)
+
+
+def small_experiment():
+    return run_recording_experiment(
+        "3v", nodes=4, duration=20.0, update_rate=10.0, inquiry_rate=5.0,
+        audit_rate=0.1, entities=40, span=2, seed=3, detail=False,
+    )
+
+
+def test_kernel_event_throughput(benchmark):
+    result = benchmark(drain_kernel)
+    assert result > 0
+
+
+def test_mvstore_write_throughput(benchmark):
+    assert benchmark(hammer_store, MVStore) == 20_000
+
+
+def test_slotstore_write_throughput(benchmark):
+    assert benchmark(hammer_store, SlotStore) == 20_000
+
+
+def test_end_to_end_simulation_throughput(benchmark):
+    result = benchmark.pedantic(small_experiment, rounds=3, iterations=1)
+    assert result.history.count("update") > 150

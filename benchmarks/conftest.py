@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artefacts (Table 1,
+Figures 1-2) or one of its quantitative claims (C1-C7 in DESIGN.md).  The
+resulting tables are printed and also written to ``benchmarks/results/``
+so they survive pytest's output capture; EXPERIMENTS.md records the
+paper-vs-measured comparison for each.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(name: str, table) -> None:
+    """Print a table and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.render()
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def save_text(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

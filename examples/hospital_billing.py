@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Hospital billing: correctness under concurrency, 3V vs the alternatives.
+
+Drives the same randomized stream of patient visits and balance inquiries
+(identical seed, identical arrivals) through four system designs and
+audits every inquiry with the exact bitmask oracle:
+
+* 3V           - the paper's protocol: consistent AND coordination-free
+* no-coord     - fast but produces fractured reads (partial visits)
+* manual (2s safety delay on a 10s period) - still fractured
+* 2pc          - consistent but slow: reads block behind writers
+
+Run:  python examples/hospital_billing.py
+"""
+
+from repro import Table, audit, latency_summary, max_remote_wait
+from repro.workloads import run_recording_experiment
+
+SETTINGS = dict(
+    nodes=6,               # six departments
+    duration=60.0,
+    update_rate=6.0,       # visits per second
+    inquiry_rate=4.0,      # balance inquiries per second
+    audit_rate=0.2,        # statement runs
+    entities=20,           # patients (few -> contention)
+    span=3,                # departments touched per visit
+    seed=7,
+    amount_mode="bitmask",  # exact atomic-visibility oracle
+)
+
+
+def main():
+    table = Table(
+        "Hospital billing: 60s of visits and inquiries (same workload)",
+        ["system", "inquiries", "fractured", "rate%",
+         "p95 latency", "max remote wait"],
+        precision=2,
+    )
+    for protocol, label in [
+        ("3v", "3V (paper)"),
+        ("nocoord", "no coordination"),
+        ("manual", "manual (short delay)"),
+        ("2pc", "global 2PL+2PC"),
+    ]:
+        kwargs = dict(SETTINGS)
+        if protocol == "manual":
+            kwargs.update(advancement_period=10.0, safety_delay=2.0)
+        result = run_recording_experiment(protocol, **kwargs)
+        report = audit(result.history)
+        reads = latency_summary(result.history, kind="read", which="global")
+        table.add(
+            label,
+            report.reads_checked,
+            report.fractured_reads,
+            100.0 * report.fractured_rate,
+            reads.p95,
+            max_remote_wait(result.history),
+        )
+    table.print()
+    print(
+        "3V matches the no-coordination row on latency and the 2PC row on\n"
+        "correctness - the paper's central claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

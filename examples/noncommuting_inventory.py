@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Point-of-sale inventory with non-commuting stock takes (NC3V, Section 5).
+
+Sales commute (stock/revenue increments), so they run coordination-free.
+A *stock take* — a physical recount that OVERWRITES the stock level —
+does not commute with anything: NC3V runs it under non-commuting locks
+with two-phase commit, gated so it never overlaps a version switch.
+
+This example mixes a stream of sales with occasional stock takes and
+shows the paper's "graceful handling" claim: the commuting traffic keeps
+its latency, while only transactions that actually touch a recounted
+product feel the stock take.
+
+Run:  python examples/noncommuting_inventory.py
+"""
+
+from repro import Table, latency_summary
+from repro.core import PeriodicPolicy, ThreeVSystem
+from repro.sim import RngRegistry
+from repro.workloads import retail_workload
+from repro.workloads.arrivals import drive, poisson_arrivals
+from repro.workloads.retail import store_names
+
+STORES = 6
+DURATION = 80.0
+
+
+def run(stock_take_rate: float):
+    nodes = store_names(STORES)
+    system = ThreeVSystem(
+        nodes, seed=5, allow_noncommuting=True,
+        policy=PeriodicPolicy(20.0),
+    )
+    workload = retail_workload(stores=STORES, products=100, seed=5)
+    workload.install(system)
+    arrivals = RngRegistry(23)
+    drive(system, poisson_arrivals(arrivals, "sales", 15.0, DURATION),
+          workload.make_sale)
+    drive(system, poisson_arrivals(arrivals, "inqs", 5.0, DURATION),
+          workload.make_stock_inquiry)
+    if stock_take_rate > 0:
+        drive(
+            system,
+            poisson_arrivals(arrivals, "takes", stock_take_rate, DURATION),
+            workload.make_stock_take,
+        )
+    system.run(until=DURATION)
+    system.stop_policy()
+    system.run_until_quiet()
+    return system
+
+
+def main():
+    table = Table(
+        "Retail: sales (commuting) vs stock takes (non-commuting)",
+        ["stock takes/s", "sales p95", "sales lock-wait total",
+         "stock takes done", "stock takes aborted", "gate waits"],
+        precision=3,
+    )
+    for rate in (0.0, 0.2, 1.0):
+        system = run(rate)
+        history = system.history
+        sales = latency_summary(history, kind="update")
+        lock_wait = sum(
+            r.waits.get("lock", 0.0) for r in history.committed_txns("update")
+        )
+        nc = [r for r in history.txns.values() if r.kind == "noncommuting"]
+        gate_waits = sum(
+            1 for r in nc if r.waits.get("version-gate", 0.0) > 0
+        )
+        table.add(
+            rate,
+            sales.p95,
+            lock_wait,
+            sum(1 for r in nc if not r.aborted),
+            sum(1 for r in nc if r.aborted),
+            gate_waits,
+        )
+    table.print()
+    print(
+        "With zero stock takes, sales never touch a lock conflict; adding\n"
+        "non-commuting traffic degrades only what it touches (Section 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

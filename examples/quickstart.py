@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: the hospital scenario of Figure 1, on the 3V protocol.
+
+Two departments (radiology, pediatrics) each keep their own database.  A
+patient visit charges both departments in one distributed transaction; a
+balance inquiry reads both.  Under 3V the inquiry NEVER sees half a visit:
+updates accumulate in the current update version while reads use the
+stable read version, and an asynchronous version advancement publishes new
+charges without delaying anyone.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Increment,
+    ReadOp,
+    SubtxnSpec,
+    ThreeVSystem,
+    TransactionSpec,
+    WriteOp,
+)
+
+
+def patient_visit(name: str, radiology_fee: float, pediatrics_fee: float):
+    """One visit: the front-end submits to radiology, which forwards the
+    pediatrics charge as a child subtransaction (the tree model)."""
+    return TransactionSpec(
+        name=name,
+        root=SubtxnSpec(
+            node="radiology",
+            ops=[WriteOp("balance:alice", Increment(radiology_fee))],
+            children=[
+                SubtxnSpec(
+                    node="pediatrics",
+                    ops=[WriteOp("balance:alice", Increment(pediatrics_fee))],
+                )
+            ],
+        ),
+    )
+
+
+def balance_inquiry(name: str):
+    return TransactionSpec(
+        name=name,
+        root=SubtxnSpec(
+            node="radiology",
+            ops=[ReadOp("balance:alice")],
+            children=[
+                SubtxnSpec(node="pediatrics", ops=[ReadOp("balance:alice")])
+            ],
+        ),
+    )
+
+
+def main():
+    system = ThreeVSystem(["radiology", "pediatrics"], seed=42)
+    system.load("radiology", "balance:alice", 0.0)
+    system.load("pediatrics", "balance:alice", 0.0)
+
+    # Two visits and an inquiry racing them.
+    system.submit_at(1.0, patient_visit("visit-1", 120.0, 80.0))
+    system.submit_at(1.5, balance_inquiry("inquiry-early"))
+    system.submit_at(2.0, patient_visit("visit-2", 45.0, 30.0))
+    system.run_until_quiet()
+
+    early = dict(system.history.txn("inquiry-early").reads)
+    print("Early inquiry (before any version advancement):")
+    print(f"  radiology={early['balance:alice']}  <- stable version 0")
+    print()
+
+    # Publish the accumulated charges: completely asynchronous with any
+    # user transaction; no one waits.
+    system.advance_versions()
+    system.run_until_quiet()
+
+    system.submit_at(system.sim.now + 1.0, balance_inquiry("inquiry-late"))
+    system.run_until_quiet()
+    late = [value for _key, value in system.history.txn("inquiry-late").reads]
+    print("Late inquiry (after one advancement):")
+    print(f"  radiology={late[0]}  pediatrics={late[1]}")
+    assert late == [165.0, 110.0], "both visits fully visible, atomically"
+    print()
+
+    print("Paper guarantees, checked:")
+    for name in ("visit-1", "visit-2", "inquiry-early", "inquiry-late"):
+        record = system.history.txn(name)
+        print(
+            f"  {name:15s} version={record.version} "
+            f"remote-wait={record.remote_wait:.3f} "
+            f"latency={record.local_latency:.3f}"
+        )
+        assert record.remote_wait == 0.0  # Theorem 4.2
+    max_versions = max(
+        node.store.max_live_versions for node in system.nodes.values()
+    )
+    print(f"  max live versions of any item: {max_versions} (bound: 3)")
+
+
+if __name__ == "__main__":
+    main()

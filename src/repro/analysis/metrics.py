@@ -1,0 +1,155 @@
+"""Latency, throughput, wait, and staleness summaries.
+
+These functions turn a :class:`~repro.txn.history.History` into the numbers
+the benchmark tables report.  All of them are protocol-agnostic: the same
+summaries are computed for 3V and every baseline, so comparisons are
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.txn.history import History, TxnKind
+
+
+def percentile(values: typing.Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = int(position)
+    fraction = position - lower
+    if lower + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[lower] * (1 - fraction) + ordered[lower + 1] * fraction
+
+
+@dataclasses.dataclass
+class LatencySummary:
+    """Distribution summary of one latency population."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: typing.Sequence[float]) -> "LatencySummary":
+        if not values:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+        return cls(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            max=max(values),
+        )
+
+
+def latency_summary(
+    history: History,
+    kind: typing.Optional[str] = None,
+    which: str = "local",
+) -> LatencySummary:
+    """Latency distribution of committed transactions.
+
+    Args:
+        kind: Restrict to one :class:`~repro.txn.history.TxnKind`.
+        which: ``"local"`` (user-perceived root commit) or ``"global"``
+            (whole tree completed).
+    """
+    values = []
+    for record in history.committed_txns(kind):
+        latency = (
+            record.local_latency if which == "local" else record.global_latency
+        )
+        if latency is not None:
+            values.append(latency)
+    return LatencySummary.of(values)
+
+
+def throughput(history: History, duration: float,
+               kind: typing.Optional[str] = None) -> float:
+    """Committed transactions per time unit over ``duration``."""
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0: {duration}")
+    return history.count(kind) / duration
+
+
+def abort_rate(history: History) -> float:
+    """Fraction of all finished transactions that aborted."""
+    total = len(history.txns)
+    if total == 0:
+        return 0.0
+    return len(history.aborted_txns()) / total
+
+
+def wait_summary(history: History, kind: typing.Optional[str] = None
+                 ) -> typing.Dict[str, float]:
+    """Total wait time per :class:`~repro.txn.history.WaitReason`."""
+    totals: typing.Dict[str, float] = {}
+    for record in history.committed_txns(kind):
+        for reason, duration in record.waits.items():
+            totals[reason] = totals.get(reason, 0.0) + duration
+    return totals
+
+
+def max_remote_wait(history: History, kind: typing.Optional[str] = None
+                    ) -> float:
+    """Largest remote-activity wait any committed transaction suffered —
+    Theorem 4.2 says this is exactly 0 for well-behaved 3V traffic."""
+    waits = [r.remote_wait for r in history.committed_txns(kind)]
+    return max(waits) if waits else 0.0
+
+
+# ----------------------------------------------------------------------
+# Staleness
+# ----------------------------------------------------------------------
+
+
+def closed_at_from_history(history: History) -> typing.Dict[int, float]:
+    """When each version stopped accepting new update transactions.
+
+    For 3V this is the end of Phase 1 of the advancement that introduced
+    the next update version; version 0 never accepted updates.
+    """
+    closed = {0: 0.0}
+    for record in history.advancements:
+        if record.phase1_done is not None:
+            closed[record.new_update_version - 1] = record.phase1_done
+    return closed
+
+
+def staleness_summary(
+    history: History,
+    closed_at: typing.Optional[typing.Dict[int, float]] = None,
+) -> LatencySummary:
+    """Data staleness of committed reads.
+
+    The staleness of a read is the age of its snapshot when the read was
+    submitted: ``submit_time - closed_at[version]``.  A system serving
+    fresh data (no versioning) has staleness 0 by construction.
+    """
+    if closed_at is None:
+        closed_at = closed_at_from_history(history)
+    values = []
+    for record in history.committed_txns(TxnKind.READ):
+        if record.version is None:
+            values.append(0.0)
+            continue
+        closed = closed_at.get(record.version)
+        if closed is None:
+            values.append(0.0)  # version still open: perfectly fresh
+        else:
+            values.append(max(0.0, record.submit_time - closed))
+    return LatencySummary.of(values)

@@ -1,0 +1,120 @@
+"""Serializability and atomic-visibility oracles.
+
+The correctness criterion is global serializability (Section 3.3); for the
+3V protocol specifically, Theorem 4.1 says every schedule is equivalent to
+the serial order *sorted by version number, updates before reads within a
+version*.  Two executable checks cover this:
+
+* :func:`atomic_visibility_violations` — for every committed read
+  transaction, each data item read on several nodes must reflect the same
+  set of update transactions.  Recording transactions write the *same
+  amount* to every node an entity spans, so any divergence between the
+  per-node values a single read observed is a fractured read.  Works on
+  any workload built by :class:`~repro.workloads.recording.RecordingWorkload`.
+* :func:`snapshot_violations` — the strict Theorem 4.1 check, requiring
+  the workload's ``"bitmask"`` amount mode: every read with version ``v``
+  must see **exactly** the committed recording transactions with version
+  ``<= v`` — no partial transactions, nothing newer, nothing missing.
+
+Both return structured :class:`Violation` records so tests can assert on
+counts and benchmarks can tabulate anomaly rates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.txn.history import History, TxnKind
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One detected correctness violation."""
+
+    kind: str  # "fractured-read" | "snapshot-mismatch"
+    txn: str
+    key: typing.Hashable
+    details: str
+
+
+def _reads_by_txn_and_key(history: History) -> typing.Dict[
+    str, typing.Dict[typing.Hashable, typing.List]
+]:
+    """Group detailed read events: txn -> key -> [events]."""
+    grouped: typing.Dict[str, typing.Dict[typing.Hashable, list]] = {}
+    for event in history.read_events:
+        record = history.txns.get(event.txn)
+        if record is None or record.aborted or record.kind != TxnKind.READ:
+            continue
+        grouped.setdefault(event.txn, {}).setdefault(event.key, []).append(event)
+    return grouped
+
+
+def atomic_visibility_violations(history: History) -> typing.List[Violation]:
+    """Fractured reads: one read transaction, one key, different values on
+    different nodes.
+
+    Requires the history to carry detailed read events (``detail=True``).
+    """
+    violations = []
+    for txn, by_key in _reads_by_txn_and_key(history).items():
+        for key, events in by_key.items():
+            values = {(event.node, event.value) for event in events}
+            distinct = {value for _node, value in values}
+            if len(distinct) > 1:
+                violations.append(
+                    Violation(
+                        kind="fractured-read",
+                        txn=txn,
+                        key=key,
+                        details=f"per-node values {sorted(values)!r}",
+                    )
+                )
+    return violations
+
+
+def snapshot_violations(history: History, workload) -> typing.List[Violation]:
+    """Theorem 4.1: reads see exactly the committed updates of versions
+    ``<= V(read)``, atomically.
+
+    Args:
+        history: A detailed history.
+        workload: A :class:`~repro.workloads.recording.RecordingWorkload`
+            run in ``"bitmask"`` mode (so balances decompose uniquely).
+    """
+    violations = []
+    for txn, by_key in _reads_by_txn_and_key(history).items():
+        record = history.txns[txn]
+        for key, events in by_key.items():
+            if not str(key).startswith("bal:"):
+                continue
+            entity = int(str(key).split(":", 1)[1])
+            expected = workload.committed_mask(
+                history, entity, max_version=record.version
+            )
+            for event in events:
+                observed = event.value if event.value is not None else 0
+                if observed != expected:
+                    missing = expected & ~observed
+                    extra = observed & ~expected
+                    violations.append(
+                        Violation(
+                            kind="snapshot-mismatch",
+                            txn=txn,
+                            key=key,
+                            details=(
+                                f"node {event.node}: version {record.version}, "
+                                f"missing mask {missing:#x}, "
+                                f"extra mask {extra:#x}"
+                            ),
+                        )
+                    )
+    return violations
+
+
+def reads_checked(history: History) -> int:
+    """How many (read transaction, key) pairs the oracles examined."""
+    return sum(
+        len(by_key) for by_key in _reads_by_txn_and_key(history).values()
+    )

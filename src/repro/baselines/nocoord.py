@@ -1,0 +1,29 @@
+"""The "No Coordination" baseline (Section 1).
+
+"Global transactions can run without global synchronization between nodes.
+This way, there is no performance loss due to coordination, but correctness
+is sacrificed" — every subtransaction reads and writes the single live copy
+of the data the moment it executes, so a query running concurrently with a
+multi-node update can observe some of its writes and miss others (the
+patient who "sees only partial charges from procedures performed during a
+single visit").
+
+The implementation is the :class:`~repro.baselines.base.BaselineNode`
+defaults: one version (number 0), reads and writes hit it directly.  The
+anomaly detector in :mod:`repro.analysis.anomalies` quantifies the
+resulting fractured reads for experiment C4.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineNode, BaselineSystem
+
+
+class NoCoordNode(BaselineNode):
+    """Single-version node; inherits the no-protocol defaults."""
+
+
+class NoCoordSystem(BaselineSystem):
+    """A cluster with no global concurrency control at all."""
+
+    node_class = NoCoordNode

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the common workflows without writing any code:
+
+* ``run``      — one experiment on one protocol, with metrics and audit;
+* ``compare``  — the same workload across several protocols, side by side;
+* ``sweep``    — vary one parameter (nodes, advancement period, or
+  correction rate) on one protocol;
+* ``paper``    — replay the paper's Table 1 / Figure 2 example.
+
+Every command prints plain-text tables (see
+:class:`repro.analysis.report.Table`) and exits non-zero if a consistency
+audit fails, so the CLI doubles as a smoke-test harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.analysis import (
+    Table,
+    audit,
+    latency_summary,
+    max_remote_wait,
+    staleness_summary,
+    throughput,
+)
+from repro.workloads import PROTOCOLS, run_recording_experiment
+
+
+def _experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="number of database nodes (default 4)")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="simulated seconds of traffic (default 30)")
+    parser.add_argument("--update-rate", type=float, default=5.0,
+                        help="recording transactions per second")
+    parser.add_argument("--inquiry-rate", type=float, default=3.0,
+                        help="inquiry transactions per second")
+    parser.add_argument("--audit-rate", type=float, default=0.2,
+                        help="audit transactions per second")
+    parser.add_argument("--correction-rate", type=float, default=0.0,
+                        help="non-commuting corrections per second (NC3V)")
+    parser.add_argument("--entities", type=int, default=50,
+                        help="number of entities (patients/accounts/SKUs)")
+    parser.add_argument("--span", type=int, default=2,
+                        help="nodes each entity's records span")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master random seed")
+    parser.add_argument("--period", type=float, default=10.0,
+                        help="advancement/switch period in simulated seconds")
+    parser.add_argument("--safety-delay", type=float, default=5.0,
+                        help="manual versioning's read-switch delay")
+    parser.add_argument("--abort-fraction", type=float, default=0.0,
+                        help="fraction of recordings that abort (compensation)")
+
+
+def _run_one(protocol: str, args) -> typing.Tuple[typing.Any, typing.Any]:
+    result = run_recording_experiment(
+        protocol,
+        nodes=args.nodes,
+        duration=args.duration,
+        update_rate=args.update_rate,
+        inquiry_rate=args.inquiry_rate,
+        audit_rate=args.audit_rate,
+        correction_rate=args.correction_rate,
+        entities=args.entities,
+        span=args.span,
+        seed=args.seed,
+        advancement_period=args.period,
+        safety_delay=args.safety_delay,
+        amount_mode="bitmask",
+        abort_fraction=args.abort_fraction,
+    )
+    report = audit(
+        result.history, result.workload,
+        check_snapshots=(protocol == "3v"),
+    )
+    return result, report
+
+
+def _metrics_row(protocol: str, result, report) -> list:
+    history = result.history
+    updates = latency_summary(history, kind="update")
+    reads = latency_summary(history, kind="read", which="global")
+    return [
+        protocol,
+        throughput(history, result.duration, kind="update"),
+        updates.p95,
+        reads.p95,
+        report.fractured_reads,
+        len(history.aborted_txns()),
+        max_remote_wait(history),
+    ]
+
+
+_METRIC_COLUMNS = [
+    "system", "upd/s", "upd p95", "read p95", "fractured", "aborted",
+    "max remote wait",
+]
+
+
+def cmd_run(args) -> int:
+    result, report = _run_one(args.protocol, args)
+    table = Table(f"{args.protocol}: {args.duration:g}s on {args.nodes} nodes",
+                  _METRIC_COLUMNS)
+    table.add(*_metrics_row(args.protocol, result, report))
+    table.print()
+    staleness = staleness_summary(result.history)
+    print(f"read staleness: mean={staleness.mean:.2f} max={staleness.max:.2f}")
+    if not report.clean:
+        print(f"AUDIT FAILED: {len(report.violations)} violations, e.g. "
+              f"{report.violations[0]}")
+        return 1
+    print("audit: clean")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    unknown = [p for p in args.protocols if p not in PROTOCOLS]
+    if unknown:
+        print(f"unknown protocol(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(PROTOCOLS)}")
+        return 2
+    table = Table(
+        f"Protocol comparison: {args.duration:g}s on {args.nodes} nodes "
+        f"(seed {args.seed})",
+        _METRIC_COLUMNS,
+    )
+    failed = False
+    for protocol in args.protocols:
+        result, report = _run_one(protocol, args)
+        table.add(*_metrics_row(protocol, result, report))
+        if protocol in ("3v", "2pc") and not report.clean:
+            failed = True
+    table.print()
+    return 1 if failed else 0
+
+
+def cmd_sweep(args) -> int:
+    table = Table(
+        f"Sweep of {args.parameter} on {args.protocol}",
+        [args.parameter] + _METRIC_COLUMNS,
+    )
+    for value in args.values:
+        if args.parameter == "nodes":
+            args.nodes = int(value)
+        elif args.parameter == "period":
+            args.period = value
+        elif args.parameter == "correction-rate":
+            args.correction_rate = value
+        result, report = _run_one(args.protocol, args)
+        table.add(value, *_metrics_row(args.protocol, result, report))
+    table.print()
+    return 0
+
+
+def cmd_paper(args) -> int:
+    from repro.workloads.paper_example import expected_final_state, run_example
+
+    run = run_example()
+    system = run.system
+    print("Replaying the paper's Table 1 example (sites p, q, s) ...")
+    for event in system.history.write_events:
+        dual = " [dual write]" if event.versions_written > 1 else ""
+        print(f"  t={event.time:6.2f}  {event.subtxn:4s} @ {event.node}: "
+              f"{event.key} version {event.version}{dual}")
+    final = {}
+    for node in system.nodes.values():
+        final.update(node.store.snapshot())
+    ok = final == expected_final_state()
+    print(f"final state matches Figure 2: {'yes' if ok else 'NO'}")
+    print(f"vr={system.read_version} vu={system.update_version}")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Scalable Versioning in Distributed Databases "
+            "with Commuting Updates' (ICDE 1997)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run one experiment on one protocol"
+    )
+    run_parser.add_argument("protocol", choices=PROTOCOLS)
+    _experiment_arguments(run_parser)
+    run_parser.set_defaults(handler=cmd_run)
+
+    compare_parser = commands.add_parser(
+        "compare", help="run the same workload on several protocols"
+    )
+    compare_parser.add_argument(
+        "protocols", nargs="*",
+        default=["3v", "nocoord", "manual", "2pc"],
+        metavar="protocol",
+        help=f"protocols to compare (default: 3v nocoord manual 2pc; "
+             f"choices: {', '.join(PROTOCOLS)})",
+    )
+    _experiment_arguments(compare_parser)
+    compare_parser.set_defaults(handler=cmd_compare)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="sweep one parameter on one protocol"
+    )
+    sweep_parser.add_argument("protocol", choices=PROTOCOLS)
+    sweep_parser.add_argument(
+        "parameter", choices=["nodes", "period", "correction-rate"]
+    )
+    sweep_parser.add_argument("values", nargs="+", type=float)
+    _experiment_arguments(sweep_parser)
+    sweep_parser.set_defaults(handler=cmd_sweep)
+
+    paper_parser = commands.add_parser(
+        "paper", help="replay the paper's Table 1 / Figure 2 example"
+    )
+    paper_parser.set_defaults(handler=cmd_paper)
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,274 @@
+"""Version advancement and garbage collection (Section 4.3).
+
+The coordinator advances versions in four phases, all asynchronous with
+user transactions:
+
+1. **Switching to a new update version** — broadcast ``start-advancement``
+   with ``vu_new = vu_old + 1``; every node advances ``vu`` and acks.
+2. **Updates phase-out** — poll the request/completion counters of
+   ``vu_old`` until they match for every node pair.
+3. **Switching to a new read version** — broadcast ``read-advance`` with
+   ``vr_new = vr_old + 1``; every node advances ``vr`` and acks.
+4. **Garbage collection** — poll the counters of ``vr_old`` until the old
+   queries drain, then broadcast ``garbage-collect``.
+
+Quiescence detection
+--------------------
+
+The paper's counters are read "in an asynchronous manner", citing the
+stable-property detection literature [Chandy-Lamport 85, Helary et al. 87,
+Chandy-Misra 86].  A single interleaved read of ``R`` and ``C`` is *not*
+sound: between reading ``R`` at one node and ``C`` at another, a new
+request can be issued and completed, making the counters match while an
+older subtransaction is still in flight.  The sound rule (Mattern's
+four-counter / two-wave method) is implemented by
+:class:`TwoWaveDetector`: read **all completion counters first**, then all
+request counters; if ``C(wave 1) == R(wave 2)`` per pair, every request
+had completed by the end of wave 1 — and because no new root
+subtransaction can join an old version once Phase 1 acks are in,
+quiescence is a stable property and stays true.
+
+The unsound alternatives are provided for the C7 ablation:
+:class:`InterleavedDetector` (single combined wave) and
+:class:`ActivePollDetector` (the naive "is any transaction running on v?"
+check the paper warns about in Section 2.2, blind to in-transit children).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import AdvancementInProgress, ProtocolError
+from repro.net.message import MessageKind
+from repro.net.network import Network
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+from repro.storage.counters import quiescent
+from repro.txn.history import AdvancementRecord, History
+
+COORDINATOR_ID = "coordinator"
+
+
+class QuiescenceDetector:
+    """Strategy deciding when all transactions of a version have finished."""
+
+    name = "abstract"
+
+    def __init__(self, coordinator: "AdvancementCoordinator"):
+        self.coordinator = coordinator
+
+    def check(self, version: int):  # generator
+        """Yield simulation events; return ``True`` when quiescent."""
+        raise NotImplementedError  # pragma: no cover
+
+
+class TwoWaveDetector(QuiescenceDetector):
+    """Sound detector: completions wave strictly before requests wave."""
+
+    name = "two-wave"
+
+    def check(self, version: int):
+        completions = yield from self.coordinator.gather_counters(version, "C")
+        requests = yield from self.coordinator.gather_counters(version, "R")
+        return quiescent(requests, completions)
+
+
+class InterleavedDetector(QuiescenceDetector):
+    """UNSOUND (ablation): reads R and C in a single combined wave, so a
+    request can slip between the two reads and hide an in-flight
+    subtransaction.  Kept to demonstrate why the wave order matters."""
+
+    name = "interleaved"
+
+    def check(self, version: int):
+        requests = yield from self.coordinator.gather_counters(version, "R")
+        completions = yield from self.coordinator.gather_counters(version, "C")
+        return quiescent(requests, completions)
+
+
+class ActivePollDetector(QuiescenceDetector):
+    """UNSOUND (ablation): Section 2.2's strawman — ask every node whether
+    any subtransaction of the version is currently running.  "A
+    subtransaction running on version 1 on node p might have sent a child
+    subtransaction to node q and committed on node p; while the child is
+    in transit, no server may be running any transactions against
+    version 1" — this detector declares quiescence in exactly that window.
+    """
+
+    name = "active-poll"
+
+    def check(self, version: int):
+        active = yield from self.coordinator.gather_counters(version, "ACTIVE")
+        return all(count == 0 for row in active.values() for count in row.values())
+
+
+DETECTORS = {
+    TwoWaveDetector.name: TwoWaveDetector,
+    InterleavedDetector.name: InterleavedDetector,
+    ActivePollDetector.name: ActivePollDetector,
+}
+
+
+class AdvancementCoordinator:
+    """Runs the four-phase advancement protocol over the network.
+
+    Args:
+        sim: Owning simulator.
+        network: Message transport (the coordinator registers its own
+            endpoint).
+        node_ids: All database nodes.
+        history: Where advancement phase timestamps are recorded.
+        poll_interval: Delay between quiescence polls in phases 2 and 4.
+        detector: Name of the quiescence detector (see :data:`DETECTORS`).
+
+    A distributed mutual exclusion mechanism is assumed by the paper; here
+    a simple "one advancement at a time" guard plays that role.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_ids: typing.Sequence[str],
+        history: History,
+        poll_interval: float = 1.0,
+        detector: str = TwoWaveDetector.name,
+    ):
+        self.sim = sim
+        self.network = network
+        self.node_ids = list(node_ids)
+        self.history = history
+        self.poll_interval = poll_interval
+        try:
+            self.detector: QuiescenceDetector = DETECTORS[detector](self)
+        except KeyError:
+            raise ProtocolError(f"unknown quiescence detector: {detector!r}")
+        self.vr = 0
+        self.vu = 1
+        self.running = False
+        self.completed_runs = 0
+        self._mailbox = network.register(COORDINATOR_ID)
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def advance(self) -> Event:
+        """Start one advancement; returns the process (an event).
+
+        Raises:
+            AdvancementInProgress: If an advancement is already running
+                (the paper assumes distributed mutual exclusion here).
+        """
+        if self.running:
+            raise AdvancementInProgress(
+                f"advancement to version {self.vu + 1} already running"
+            )
+        self.running = True
+        return self.sim.process(self._advance(), name="advancement")
+
+    # ------------------------------------------------------------------
+    # The four phases
+    # ------------------------------------------------------------------
+
+    def _advance(self):
+        vu_old, vr_old = self.vu, self.vr
+        vu_new, vr_new = vu_old + 1, vr_old + 1
+        record = AdvancementRecord(
+            new_update_version=vu_new, started=self.sim.now
+        )
+        self.history.advancements.append(record)
+        try:
+            # Phase 1: switch every node to the new update version.
+            self.network.broadcast_to(
+                COORDINATOR_ID, self.node_ids,
+                MessageKind.START_ADVANCEMENT, vu_new,
+            )
+            yield from self._collect_acks(
+                MessageKind.START_ADVANCEMENT_ACK, vu_new
+            )
+            self.vu = vu_new
+            record.phase1_done = self.sim.now
+
+            # Phase 2: wait for vu_old to quiesce.
+            yield from self._await_quiescence(vu_old, record)
+            record.phase2_done = self.sim.now
+
+            # Phase 3: make vu_old (= vr_new) readable.
+            self.network.broadcast_to(
+                COORDINATOR_ID, self.node_ids, MessageKind.READ_ADVANCE, vr_new
+            )
+            yield from self._collect_acks(MessageKind.READ_ADVANCE_ACK, vr_new)
+            self.vr = vr_new
+            record.phase3_done = self.sim.now
+
+            # Phase 4: wait for vr_old queries to drain, then collect.
+            yield from self._await_quiescence(vr_old, record)
+            self.network.broadcast_to(
+                COORDINATOR_ID, self.node_ids,
+                MessageKind.GARBAGE_COLLECT, vr_new,
+            )
+            yield from self._collect_acks(
+                MessageKind.GARBAGE_COLLECT_ACK, vr_new
+            )
+            record.gc_done = self.sim.now
+            self.completed_runs += 1
+        finally:
+            self.running = False
+
+    def _await_quiescence(self, version: int, record: AdvancementRecord):
+        while True:
+            record.counter_polls += 1
+            done = yield from self.detector.check(version)
+            if done:
+                return
+            yield self.sim.timeout(self.poll_interval)
+
+    # ------------------------------------------------------------------
+    # Messaging helpers
+    # ------------------------------------------------------------------
+
+    def _collect_acks(self, kind: str, version: int):
+        """Wait until every node acked ``(node_id, version)`` with ``kind``."""
+        pending = set(self.node_ids)
+        while pending:
+            message = yield self._mailbox.get()
+            if message.kind != kind:
+                raise ProtocolError(
+                    f"coordinator expected {kind!r}, got {message.kind!r}"
+                )
+            node_id, acked_version = message.payload
+            if acked_version != version:
+                raise ProtocolError(
+                    f"stale ack for version {acked_version} during "
+                    f"advancement to {version}"
+                )
+            pending.discard(node_id)
+
+    def gather_counters(self, version: int, which: str):
+        """One asynchronous read wave of all nodes' counters.
+
+        Returns:
+            ``{node_id: snapshot}`` where each snapshot maps a peer node to
+            a counter value.
+        """
+        for node_id in self.node_ids:
+            self.network.send(
+                COORDINATOR_ID, node_id, MessageKind.COUNTER_READ,
+                (version, which),
+            )
+        snapshots: typing.Dict[str, typing.Dict[str, int]] = {}
+        while len(snapshots) < len(self.node_ids):
+            message = yield self._mailbox.get()
+            if message.kind != MessageKind.COUNTER_READ_REPLY:
+                raise ProtocolError(
+                    f"coordinator expected counter reply, got {message.kind!r}"
+                )
+            node_id, reply_version, reply_which, snapshot = message.payload
+            if reply_version != version or reply_which != which:
+                raise ProtocolError(
+                    f"stale counter reply ({reply_version}, {reply_which!r}) "
+                    f"during wave ({version}, {which!r})"
+                )
+            snapshots[node_id] = snapshot
+        return snapshots

@@ -1,0 +1,209 @@
+"""`ThreeVSystem` — the façade tying nodes, network, and coordinator together.
+
+This is the main entry point of the library::
+
+    from repro import ThreeVSystem, TransactionSpec, SubtxnSpec, WriteOp, Increment
+
+    system = ThreeVSystem(["radiology", "pediatric"], seed=1)
+    system.load("radiology", "balance:alice", 0.0)
+    system.load("pediatric", "balance:alice", 0.0)
+    visit = TransactionSpec(
+        name="visit-1",
+        root=SubtxnSpec(
+            node="radiology",
+            ops=[WriteOp("balance:alice", Increment(120.0))],
+            children=[SubtxnSpec(node="pediatric",
+                                 ops=[WriteOp("balance:alice", Increment(80.0))])],
+        ),
+    )
+    system.submit(visit)
+    system.advance_versions()
+    system.run_until_quiet()
+
+Everything is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.advancement import AdvancementCoordinator
+from repro.core.nc3v import NC3VManager
+from repro.core.node import NodeConfig, ThreeVNode
+from repro.core.policy import AdvancementPolicy
+from repro.errors import ProtocolError
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.sim.distributions import RngRegistry
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+from repro.txn.history import History
+from repro.txn.runtime import SubtxnInstance, TxnIndex
+from repro.txn.spec import TransactionSpec
+
+
+class ThreeVSystem:
+    """A distributed database cluster running the 3V / NC3V protocols.
+
+    Args:
+        node_ids: Names of the database nodes.
+        seed: Master seed for all randomness (latencies, service times).
+        latency: Network latency model (default: constant 1.0).
+        node_config: Shared per-node tunables.
+        poll_interval: Coordinator quiescence poll interval.
+        detector: Quiescence detector name (``"two-wave"`` is the sound
+            one; ``"interleaved"`` / ``"active-poll"`` are ablations).
+        allow_noncommuting: Enable the NC3V extension (commute locks for
+            well-behaved updates, NR/NW + 2PC for non-commuting ones).
+        detail: Record per-operation events in the history (turn off for
+            very large benchmark runs).
+        fifo_links: Enforce per-link FIFO message delivery.
+        policy: Optional automatic advancement trigger.
+    """
+
+    def __init__(
+        self,
+        node_ids: typing.Sequence[str],
+        seed: int = 0,
+        latency: typing.Optional[LatencyModel] = None,
+        node_config: typing.Optional[NodeConfig] = None,
+        poll_interval: float = 1.0,
+        detector: str = "two-wave",
+        allow_noncommuting: bool = False,
+        detail: bool = True,
+        fifo_links: bool = False,
+        policy: typing.Optional[AdvancementPolicy] = None,
+    ):
+        if not node_ids:
+            raise ProtocolError("a system needs at least one node")
+        self.sim = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.network = Network(
+            self.sim, rngs=self.rngs, latency=latency, fifo_links=fifo_links
+        )
+        self.history = History(detail=detail)
+        self.config = node_config if node_config is not None else NodeConfig()
+        if allow_noncommuting:
+            self.config.enable_locking = True
+        self.nodes: typing.Dict[str, ThreeVNode] = {}
+        for node_id in node_ids:
+            node = ThreeVNode(
+                self.sim, self.network, node_id, self.history,
+                config=self.config, rngs=self.rngs,
+            )
+            if allow_noncommuting:
+                node.nc3v = NC3VManager(node)
+            self.nodes[node_id] = node
+        self.coordinator = AdvancementCoordinator(
+            self.sim, self.network, list(node_ids), self.history,
+            poll_interval=poll_interval, detector=detector,
+        )
+        self.policy = policy
+        self._policy_process = None
+        if policy is not None:
+            policy.bind(self)
+            self._policy_process = policy.start(
+                self.sim, self.coordinator, self.history
+            )
+        self._submitted = 0
+
+    # ------------------------------------------------------------------
+    # Data loading and inspection
+    # ------------------------------------------------------------------
+
+    def load(self, node_id: str, key, value, version: int = 0) -> None:
+        """Install an initial value on a node before (or during) a run."""
+        self.node(node_id).store.load(key, value, version=version)
+
+    def node(self, node_id: str) -> ThreeVNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise ProtocolError(f"unknown node: {node_id!r}") from None
+
+    def value_at(self, node_id: str, key, version: typing.Optional[int] = None):
+        """Read a value directly from a node's store (for tests/inspection).
+
+        With ``version=None``, reads at the node's current read version —
+        what a freshly arriving query would see.
+        """
+        node = self.node(node_id)
+        bound = node.vr if version is None else version
+        return node.store.read_max_leq(key, bound, default=None)
+
+    # ------------------------------------------------------------------
+    # Transaction submission
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: TransactionSpec) -> None:
+        """Submit a transaction now; its root runs at ``spec.root.node``."""
+        if not spec.is_well_behaved and not self.config.enable_locking:
+            raise ProtocolError(
+                f"{spec.name!r} is non-commuting; construct the system with "
+                "allow_noncommuting=True to run it (NC3V)"
+            )
+        index = TxnIndex(spec)
+        instance = SubtxnInstance(
+            txn=spec,
+            index=index,
+            sid=index.root_id,
+            version=None,
+            source_node=spec.root.node,
+        )
+        self.node(spec.root.node).submit(instance)
+        self._submitted += 1
+
+    def submit_at(self, time: float, spec: TransactionSpec) -> None:
+        """Schedule a submission at an absolute simulation time."""
+        delay = time - self.sim.now
+        self.sim.schedule(delay, self.submit, spec)
+
+    @property
+    def submitted_count(self) -> int:
+        return self._submitted
+
+    # ------------------------------------------------------------------
+    # Version advancement
+    # ------------------------------------------------------------------
+
+    def advance_versions(self) -> Event:
+        """Manually start one version advancement; returns its process."""
+        return self.coordinator.advance()
+
+    @property
+    def read_version(self) -> int:
+        return self.coordinator.vr
+
+    @property
+    def update_version(self) -> int:
+        return self.coordinator.vu
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, until: typing.Optional[float] = None) -> None:
+        """Advance the simulation (see :meth:`repro.sim.Simulator.run`)."""
+        self.sim.run(until=until)
+
+    def run_for(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_until_quiet(self, limit: float = float("inf")) -> None:
+        """Run until no scheduled work remains (needs no periodic policy).
+
+        Blocked mailbox reads don't count as scheduled work, so a system
+        with no in-flight transactions or advancement drains naturally.
+        """
+        while self.sim.pending_count:
+            if self.sim._heap[0][0] > limit:
+                raise ProtocolError(
+                    f"system not quiet by simulated time {limit!r}"
+                )
+            self.sim.step()
+
+    def stop_policy(self) -> None:
+        """Kill the automatic advancement policy (to let the system drain)."""
+        if self._policy_process is not None:
+            self._policy_process.kill()
+            self._policy_process = None

@@ -1,0 +1,134 @@
+"""Latency models for the simulated network.
+
+A latency model maps a ``(src, dst)`` pair to a delay sample.  Models are
+deliberately small compositions over :mod:`repro.sim.distributions`; the two
+non-trivial ones are :class:`SkewedLatency` (a subset of slow links, used to
+manufacture the straggler subtransactions that exercise the 3V dual-write
+path) and :class:`PartitionedLatency` (temporarily very slow links, used in
+fault-injection tests to show advancement still terminates).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.distributions import Constant, Distribution, RngRegistry
+
+
+class LatencyModel:
+    """Base class: sample a one-way delay for a message on ``src -> dst``."""
+
+    def delay(self, src: str, dst: str, rngs: RngRegistry) -> float:
+        raise NotImplementedError  # pragma: no cover
+
+
+class UniformLatency(LatencyModel):
+    """Every link draws from the same distribution.
+
+    A distribution with variance produces message *reordering* on a link,
+    which is exactly the asynchrony the 3V protocol must tolerate.
+    """
+
+    def __init__(self, distribution: Distribution):
+        self.distribution = distribution
+
+    def delay(self, src: str, dst: str, rngs: RngRegistry) -> float:
+        return rngs.sample("net.latency", self.distribution)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.distribution!r})"
+
+
+class LocalRemoteLatency(LatencyModel):
+    """Fast self-loop, slower remote links (LAN/WAN split)."""
+
+    def __init__(self, local: Distribution, remote: Distribution):
+        self.local = local
+        self.remote = remote
+
+    def delay(self, src: str, dst: str, rngs: RngRegistry) -> float:
+        distribution = self.local if src == dst else self.remote
+        return rngs.sample("net.latency", distribution)
+
+
+class SkewedLatency(LatencyModel):
+    """A designated set of slow links; every other link is fast.
+
+    Args:
+        fast: Distribution for ordinary links.
+        slow: Distribution for the slow links.
+        slow_links: Set of ``(src, dst)`` pairs that are slow.
+    """
+
+    def __init__(
+        self,
+        fast: Distribution,
+        slow: Distribution,
+        slow_links: typing.Iterable[typing.Tuple[str, str]],
+    ):
+        self.fast = fast
+        self.slow = slow
+        self.slow_links = frozenset(slow_links)
+
+    def delay(self, src: str, dst: str, rngs: RngRegistry) -> float:
+        distribution = self.slow if (src, dst) in self.slow_links else self.fast
+        return rngs.sample("net.latency", distribution)
+
+
+class PartitionedLatency(LatencyModel):
+    """Wraps a base model; designated links stall during a time window.
+
+    Messages sent on a stalled link are held until the window closes (plus
+    the base delay).  Used to show that version advancement is delayed but
+    user transactions are not (fault-injection tests).
+    """
+
+    def __init__(
+        self,
+        base: LatencyModel,
+        stalled_links: typing.Iterable[typing.Tuple[str, str]],
+        start: float,
+        end: float,
+        now: typing.Callable[[], float],
+    ):
+        if end < start:
+            raise SimulationError(f"partition window reversed: [{start}, {end}]")
+        self.base = base
+        self.stalled_links = frozenset(stalled_links)
+        self.start = start
+        self.end = end
+        self._now = now
+
+    def delay(self, src: str, dst: str, rngs: RngRegistry) -> float:
+        base_delay = self.base.delay(src, dst, rngs)
+        now = self._now()
+        if (src, dst) in self.stalled_links and self.start <= now < self.end:
+            return (self.end - now) + base_delay
+        return base_delay
+
+
+class LinkLatency(LatencyModel):
+    """Explicit per-directed-link latencies with a default for the rest.
+
+    Used to script exact event orderings — e.g. the paper's Table 1, where
+    subtransaction ``jp`` must overtake the start-advancement notice on the
+    way to node ``p``.
+    """
+
+    def __init__(
+        self,
+        links: typing.Mapping[typing.Tuple[str, str], Distribution],
+        default: typing.Optional[Distribution] = None,
+    ):
+        self.links = dict(links)
+        self.default = default if default is not None else Constant(1.0)
+
+    def delay(self, src: str, dst: str, rngs: RngRegistry) -> float:
+        distribution = self.links.get((src, dst), self.default)
+        return rngs.sample("net.latency", distribution)
+
+
+def constant_latency(value: float) -> UniformLatency:
+    """Convenience: a deterministic network with the same delay everywhere."""
+    return UniformLatency(Constant(value))

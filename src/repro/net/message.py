@@ -1,0 +1,110 @@
+"""Message types exchanged between simulated nodes.
+
+Every inter-node interaction in the library — subtransaction dispatch,
+completion notices, version-advancement control traffic, lock releases,
+two-phase-commit votes — travels as a :class:`Message`.  Keeping a single
+envelope type lets the network layer account for *all* traffic uniformly,
+which feeds the paper's "messages are asynchronous with user transactions"
+accounting (experiment C7 and the message-overhead columns of C1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+
+class MessageKind:
+    """String constants naming every message type in the system."""
+
+    # User-transaction traffic.
+    SUBTXN_REQUEST = "subtxn-request"
+    COMPLETION_NOTICE = "completion-notice"
+    COMPENSATION = "compensation"
+    # 3V version-advancement control traffic (Section 4.3 phases).
+    START_ADVANCEMENT = "start-advancement"
+    START_ADVANCEMENT_ACK = "start-advancement-ack"
+    COUNTER_READ = "counter-read"
+    COUNTER_READ_REPLY = "counter-read-reply"
+    READ_ADVANCE = "read-advance"
+    READ_ADVANCE_ACK = "read-advance-ack"
+    GARBAGE_COLLECT = "garbage-collect"
+    GARBAGE_COLLECT_ACK = "garbage-collect-ack"
+    # Baseline control traffic (manual versioning / synchronous switches).
+    FREEZE = "freeze"
+    FREEZE_ACK = "freeze-ack"
+    UNFREEZE = "unfreeze"
+    ACTIVE_QUERY = "active-query"
+    ACTIVE_REPLY = "active-reply"
+    # NC3V / two-phase commit traffic (Section 5).
+    LOCK_RELEASE = "lock-release"
+    PREPARE = "prepare"
+    VOTE = "vote"
+    DECISION = "decision"
+    DECISION_ACK = "decision-ack"
+
+    USER_KINDS = frozenset({SUBTXN_REQUEST, COMPLETION_NOTICE, COMPENSATION})
+    CONTROL_KINDS = frozenset(
+        {
+            START_ADVANCEMENT,
+            START_ADVANCEMENT_ACK,
+            COUNTER_READ,
+            COUNTER_READ_REPLY,
+            READ_ADVANCE,
+            READ_ADVANCE_ACK,
+            GARBAGE_COLLECT,
+            GARBAGE_COLLECT_ACK,
+            FREEZE,
+            FREEZE_ACK,
+            UNFREEZE,
+            ACTIVE_QUERY,
+            ACTIVE_REPLY,
+        }
+    )
+    COMMIT_KINDS = frozenset({LOCK_RELEASE, PREPARE, VOTE, DECISION, DECISION_ACK})
+
+
+_message_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class Message:
+    """An envelope delivered from one node to another.
+
+    Attributes:
+        src: Sending node id.
+        dst: Receiving node id.
+        kind: One of the :class:`MessageKind` constants.
+        payload: Arbitrary message body (specs, counters, version numbers).
+        sent_at: Simulation time the message entered the network.
+        delivered_at: Simulation time it reached the destination mailbox
+            (filled in by the network on delivery).
+        message_id: Unique per-simulation sequence number.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: typing.Any = None
+    sent_at: float = 0.0
+    delivered_at: typing.Optional[float] = None
+    message_id: int = dataclasses.field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def latency(self) -> float:
+        """Network delay experienced by the message (delivery - send)."""
+        if self.delivered_at is None:
+            raise ValueError("message not delivered yet")
+        return self.delivered_at - self.sent_at
+
+    @property
+    def is_user_traffic(self) -> bool:
+        """Whether the message carries user-transaction work."""
+        return self.kind in MessageKind.USER_KINDS
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(#{self.message_id} {self.kind} {self.src}->{self.dst} "
+            f"@{self.sent_at:.3f})"
+        )

@@ -1,0 +1,162 @@
+"""The simulated message network.
+
+The network owns one mailbox (:class:`~repro.sim.resources.Store`) per
+registered endpoint and delivers messages after a latency sampled from the
+configured :class:`~repro.net.latency.LatencyModel`.  Delivery is
+*non-FIFO* by default — two messages on the same link may arrive out of
+order whenever the latency distribution has variance — because the 3V
+protocol is explicitly designed for that regime (a subtransaction can
+overtake the start-advancement notice, Table 1 time 19).  Per-link FIFO can
+be enabled for protocols that assume ordered channels.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.net.latency import LatencyModel, constant_latency
+from repro.net.message import Message, MessageKind
+from repro.sim.distributions import RngRegistry
+from repro.sim.resources import Store
+from repro.sim.simulator import Simulator
+
+
+class NetworkStats:
+    """Aggregate traffic accounting, split by message kind."""
+
+    def __init__(self):
+        self.sent_by_kind: typing.Dict[str, int] = {}
+        self.total_latency_by_kind: typing.Dict[str, float] = {}
+
+    def record(self, message: Message, latency: float) -> None:
+        self.sent_by_kind[message.kind] = self.sent_by_kind.get(message.kind, 0) + 1
+        self.total_latency_by_kind[message.kind] = (
+            self.total_latency_by_kind.get(message.kind, 0.0) + latency
+        )
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.sent_by_kind.values())
+
+    @property
+    def user_messages(self) -> int:
+        """Messages carrying user-transaction work."""
+        return sum(
+            count
+            for kind, count in self.sent_by_kind.items()
+            if kind in MessageKind.USER_KINDS
+        )
+
+    @property
+    def control_messages(self) -> int:
+        """Version-advancement control messages."""
+        return sum(
+            count
+            for kind, count in self.sent_by_kind.items()
+            if kind in MessageKind.CONTROL_KINDS
+        )
+
+    @property
+    def commit_messages(self) -> int:
+        """Locking / two-phase-commit messages (NC3V and 2PC baseline)."""
+        return sum(
+            count
+            for kind, count in self.sent_by_kind.items()
+            if kind in MessageKind.COMMIT_KINDS
+        )
+
+
+class Network:
+    """Message transport between named endpoints.
+
+    Args:
+        sim: The owning simulator.
+        rngs: RNG registry for latency sampling.
+        latency: Latency model; defaults to a constant 1.0 time units.
+        fifo_links: If ``True``, enforce per-``(src, dst)`` FIFO delivery by
+            clamping each delivery time to be no earlier than the previous
+            delivery on the same link.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rngs: typing.Optional[RngRegistry] = None,
+        latency: typing.Optional[LatencyModel] = None,
+        fifo_links: bool = False,
+    ):
+        self.sim = sim
+        self.rngs = rngs if rngs is not None else RngRegistry(0)
+        self.latency = latency if latency is not None else constant_latency(1.0)
+        self.fifo_links = fifo_links
+        self.stats = NetworkStats()
+        self._mailboxes: typing.Dict[str, Store] = {}
+        self._last_delivery: typing.Dict[typing.Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def register(self, endpoint: str) -> Store:
+        """Create (or return) the mailbox for ``endpoint``."""
+        if endpoint not in self._mailboxes:
+            self._mailboxes[endpoint] = Store(self.sim)
+        return self._mailboxes[endpoint]
+
+    def mailbox(self, endpoint: str) -> Store:
+        """Return the mailbox of a registered endpoint."""
+        try:
+            return self._mailboxes[endpoint]
+        except KeyError:
+            raise SimulationError(f"unknown endpoint: {endpoint!r}") from None
+
+    @property
+    def endpoints(self) -> typing.List[str]:
+        return list(self._mailboxes)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: str, dst: str, kind: str, payload=None) -> Message:
+        """Send a message; returns the in-flight envelope.
+
+        Sending never blocks the caller: the message is queued for delivery
+        after a sampled latency.  This is the mechanism behind the paper's
+        requirement that all inter-node communication is asynchronous with
+        user transactions.
+        """
+        if dst not in self._mailboxes:
+            raise SimulationError(f"send to unknown endpoint: {dst!r}")
+        message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                          sent_at=self.sim.now)
+        delay = self.latency.delay(src, dst, self.rngs)
+        if delay < 0:
+            raise SimulationError(f"latency model returned negative delay: {delay}")
+        deliver_at = self.sim.now + delay
+        if self.fifo_links:
+            link = (src, dst)
+            deliver_at = max(deliver_at, self._last_delivery.get(link, 0.0))
+            self._last_delivery[link] = deliver_at
+        self.stats.record(message, deliver_at - self.sim.now)
+        self.sim.schedule(deliver_at - self.sim.now, self._deliver, message)
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        message.delivered_at = self.sim.now
+        self._mailboxes[message.dst].put(message)
+
+    def broadcast(self, src: str, kind: str, payload=None,
+                  include_self: bool = True) -> typing.List[Message]:
+        """Send the same message to every registered endpoint."""
+        return [
+            self.send(src, dst, kind, payload)
+            for dst in self._mailboxes
+            if include_self or dst != src
+        ]
+
+    def broadcast_to(self, src: str, dsts: typing.Iterable[str], kind: str,
+                     payload=None) -> typing.List[Message]:
+        """Send the same message to an explicit list of endpoints."""
+        return [self.send(src, dst, kind, payload) for dst in dsts]

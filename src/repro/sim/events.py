@@ -1,0 +1,168 @@
+"""Events for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on.  Events
+follow a small subset of the SimPy protocol: an event is created untriggered,
+is eventually *succeeded* (with an optional value) or *failed* (with an
+exception), and then runs its callbacks exactly once.  Waiting on an already
+triggered event resumes the waiter immediately (at the current simulation
+time, in deterministic FIFO order).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Args:
+        sim: The owning simulator.
+
+    Attributes:
+        callbacks: Functions invoked with the event once it triggers.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list = []
+        self._value = _PENDING
+        self._exception: typing.Optional[BaseException] = None
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been succeeded or failed."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event triggered successfully (no exception)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self):
+        """The value the event succeeded with.
+
+        Raises:
+            SimulationError: If the event has not triggered yet.
+        """
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value=None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError("event succeeded twice")
+        self._value = value
+        self._schedule()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, raised in each waiter."""
+        if self.triggered:
+            raise SimulationError("event failed after trigger")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self._schedule()
+        return self
+
+    def _schedule(self) -> None:
+        """Queue callback execution at the current simulation time."""
+        if not self._scheduled:
+            self._scheduled = True
+            self.sim.schedule(0.0, self._run_callbacks)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback) -> None:
+        """Register ``callback(event)``; runs now if already triggered."""
+        if self.triggered and self._scheduled and not self.callbacks:
+            # Already dispatched: schedule the late-comer at the current time
+            # so ordering stays deterministic.
+            self.sim.schedule(0.0, lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value=None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self._delay = delay
+        sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value) -> None:
+        self._value = value
+        self._scheduled = True
+        self._run_callbacks()
+
+
+class Condition(Event):
+    """Base for composite events built from several child events."""
+
+    def __init__(self, sim: "Simulator", events: typing.Sequence[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if not self._events:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers when every child event has triggered.
+
+    Succeeds with the list of child values (in construction order); fails as
+    soon as any child fails.
+    """
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child.value for child in self._events])
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event triggers.
+
+    Succeeds with the first triggered child event itself, so the waiter can
+    inspect which one fired.
+    """
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)
+            return
+        self.succeed(event)

@@ -1,0 +1,121 @@
+"""Shared resources for simulated processes.
+
+Two primitives cover everything the library needs:
+
+* :class:`Resource` — a counted semaphore with FIFO queuing, used to model a
+  node's local executor (capacity = multiprogramming level).
+* :class:`Store` — an unbounded FIFO queue of items with blocking ``get``,
+  used as a process mailbox for network message delivery.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.simulator import Simulator
+
+
+class Resource:
+    """A counted, FIFO-fair resource.
+
+    Args:
+        sim: The owning simulator.
+        capacity: Number of simultaneous holders allowed.
+
+    Statistics:
+        ``total_waits`` counts requests that could not be granted immediately,
+        and ``total_wait_time`` accumulates their queueing delay — the raw
+        material for the paper's "never delayed" claims.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: collections.deque = collections.deque()
+        self.total_waits = 0
+        self.total_wait_time = 0.0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted (unreleased) requests."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for capacity."""
+        return len(self._queue)
+
+    def request(self) -> Event:
+        """Ask for one unit of capacity.
+
+        Returns:
+            An event that triggers when the unit is granted.  The caller must
+            eventually call :meth:`release`.
+        """
+        event = Event(self.sim)
+        if self._in_use < self.capacity and not self._queue:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self.total_waits += 1
+            self._queue.append((event, self.sim.now))
+        return event
+
+    def release(self) -> None:
+        """Return one unit of capacity, waking the longest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._queue:
+            event, enqueued_at = self._queue.popleft()
+            self.total_wait_time += self.sim.now - enqueued_at
+            event.succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO queue with blocking ``get`` — a process mailbox."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._items: collections.deque = collections.deque()
+        self._getters: collections.deque = collections.deque()
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item) -> None:
+        """Deposit an item; wakes the oldest waiting getter if any."""
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Take the oldest item, waiting if the store is empty.
+
+        Returns:
+            An event whose value is the retrieved item.
+        """
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> list:
+        """Remove and return all currently queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items

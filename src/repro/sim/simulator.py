@@ -1,0 +1,127 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the virtual clock and the event heap.  Everything in
+the library — network delivery, transaction execution, version advancement —
+runs as callbacks or generator processes scheduled here, which makes every
+simulation single-threaded, deterministic, and reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Scheduled callbacks are ordered by ``(time, sequence_number)`` so ties are
+    broken by scheduling order, never by hash or identity.
+
+    Example:
+        >>> sim = Simulator()
+        >>> def hello():
+        ...     yield sim.timeout(5.0)
+        ...     return sim.now
+        >>> proc = sim.process(hello())
+        >>> sim.run()
+        >>> proc.value
+        5.0
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, callback, *args) -> None:
+        """Run ``callback(*args)`` after ``delay`` units of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback, args))
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create an event that triggers after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name: str = "") -> Process:
+        """Start a generator as a simulated process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback.
+
+        Returns:
+            ``False`` if the heap was empty (nothing left to simulate).
+        """
+        if not self._heap:
+            return False
+        time, _seq, callback, args = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("event heap time went backwards")
+        self.now = time
+        callback(*args)
+        return True
+
+    def run(self, until: typing.Optional[float] = None) -> None:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, mirroring SimPy semantics.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self.now:
+            raise SimulationError(f"run until {until!r} is in the past ({self.now!r})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self.now = until
+
+    def run_until_triggered(self, event: Event, limit: float = float("inf")) -> None:
+        """Run until ``event`` triggers.
+
+        Args:
+            event: The event to wait for.
+            limit: Safety bound on simulated time.
+
+        Raises:
+            SimulationError: If the heap drains or ``limit`` passes first.
+        """
+        while not event.triggered:
+            if not self._heap:
+                raise SimulationError("simulation drained before event triggered")
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"event not triggered by time limit {limit!r}")
+            self.step()
+
+    @property
+    def pending_count(self) -> int:
+        """Number of callbacks currently scheduled."""
+        return len(self._heap)

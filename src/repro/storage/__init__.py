@@ -1,0 +1,32 @@
+"""Per-node storage substrate: versioned records, counters, locks, values."""
+
+from repro.storage.counters import CounterTable, quiescent
+from repro.storage.locktable import LockMode, LockTable, compatible
+from repro.storage.mvstore import MVStore
+from repro.storage.slotstore import SlotStore
+from repro.storage.values import (
+    Assign,
+    AssignUndo,
+    Increment,
+    Operation,
+    Record,
+    Unrecord,
+    apply_all,
+)
+
+__all__ = [
+    "Assign",
+    "AssignUndo",
+    "CounterTable",
+    "Increment",
+    "LockMode",
+    "LockTable",
+    "MVStore",
+    "Operation",
+    "Record",
+    "SlotStore",
+    "Unrecord",
+    "apply_all",
+    "compatible",
+    "quiescent",
+]

@@ -1,0 +1,152 @@
+"""Per-version request/completion counters (Section 2.2 / 4).
+
+Node ``p`` keeps, for every active version ``v``:
+
+* request counters ``R[v][q]`` — subtransactions *sent* from ``p`` to ``q``
+  against version ``v`` (a root subtransaction arriving at ``p`` counts as a
+  request from ``p`` to itself);
+* completion counters ``C[v][o]`` — subtransactions invoked from ``o`` that
+  *completed at* ``p`` against version ``v``.
+
+"To preserve locality, request counters R_vpq are located at node p, and
+completion counters C_vpq are located at node q" — so both tables live on
+the node, indexed from its own point of view, and the advancement
+coordinator assembles the global ``R[v][p][q] == C[v][p][q]`` check from
+per-node snapshots read asynchronously (see
+:mod:`repro.core.advancement` for the two-wave protocol that makes those
+asynchronous reads sound).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import CounterError
+
+
+class CounterTable:
+    """Request/completion counters held by a single node."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self._requests: typing.Dict[int, typing.Dict[str, int]] = {}
+        self._completions: typing.Dict[int, typing.Dict[str, int]] = {}
+        # Versions below this were garbage-collected.  Increments aimed at
+        # them are *dropped* (and counted): this only happens when an
+        # unsound quiescence detector collected a version that still had
+        # stragglers in flight — the damage the C7 ablation measures.
+        self._gc_floor: typing.Optional[int] = None
+        self.lost_increments = 0
+
+    # ------------------------------------------------------------------
+    # Version lifecycle
+    # ------------------------------------------------------------------
+
+    def ensure_version(self, version: int) -> None:
+        """Allocate (zeroed) counter rows for ``version`` if absent.
+
+        A garbage-collected version is never resurrected.
+        """
+        if self._gc_floor is not None and version < self._gc_floor:
+            return
+        self._requests.setdefault(version, {})
+        self._completions.setdefault(version, {})
+
+    def versions(self) -> typing.List[int]:
+        """Sorted list of versions with allocated counters."""
+        return sorted(set(self._requests) | set(self._completions))
+
+    def gc_below(self, version: int) -> None:
+        """Drop counters for all versions strictly below ``version``
+        (Phase 4: "garbage-collects all counters associated with version
+        numbers smaller than vr_new")."""
+        if self._gc_floor is None or version > self._gc_floor:
+            self._gc_floor = version
+        for table in (self._requests, self._completions):
+            for v in [v for v in table if v < version]:
+                del table[v]
+
+    # ------------------------------------------------------------------
+    # Increments (all atomic: the simulation is single-threaded, matching
+    # the paper's assumption that counter accesses are atomic and occur
+    # outside local concurrency control)
+    # ------------------------------------------------------------------
+
+    def inc_request(self, version: int, dst: str) -> None:
+        """Count a subtransaction sent from this node to ``dst``."""
+        row = self._requests.get(version)
+        if row is None:
+            if self._gc_floor is not None and version < self._gc_floor:
+                self.lost_increments += 1
+                return
+            raise CounterError(
+                f"node {self.node_id}: request counter for unallocated "
+                f"version {version}"
+            )
+        row[dst] = row.get(dst, 0) + 1
+
+    def inc_completion(self, version: int, src: str) -> None:
+        """Count a subtransaction invoked from ``src`` completing here."""
+        row = self._completions.get(version)
+        if row is None:
+            if self._gc_floor is not None and version < self._gc_floor:
+                self.lost_increments += 1
+                return
+            raise CounterError(
+                f"node {self.node_id}: completion counter for unallocated "
+                f"version {version}"
+            )
+        row[src] = row.get(src, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def requests(self, version: int) -> typing.Dict[str, int]:
+        """Snapshot of ``R[version][dst]`` for this node (copies)."""
+        return dict(self._requests.get(version, {}))
+
+    def completions(self, version: int) -> typing.Dict[str, int]:
+        """Snapshot of ``C[version][src]`` for this node (copies)."""
+        return dict(self._completions.get(version, {}))
+
+    def request_count(self, version: int, dst: str) -> int:
+        return self._requests.get(version, {}).get(dst, 0)
+
+    def completion_count(self, version: int, src: str) -> int:
+        return self._completions.get(version, {}).get(src, 0)
+
+
+def quiescent(
+    request_snapshots: typing.Dict[str, typing.Dict[str, int]],
+    completion_snapshots: typing.Dict[str, typing.Dict[str, int]],
+) -> bool:
+    """Check ``R[v][p][q] == C[v][p][q]`` for all node pairs.
+
+    Args:
+        request_snapshots: ``{p: {q: R_pq}}`` — one row per sending node.
+        completion_snapshots: ``{q: {p: C_pq}}`` — one row per executing node.
+
+    Returns:
+        ``True`` iff every request has a matching completion.  Entries
+        missing from either side count as zero.
+
+    Note:
+        This is a *pure* equality check.  Its soundness under asynchronous
+        reads depends on the caller reading completion snapshots strictly
+        before request snapshots (the two-wave rule); see
+        ``repro.core.advancement.QuiescenceDetector``.
+    """
+    pairs = set()
+    for p, row in request_snapshots.items():
+        for q in row:
+            pairs.add((p, q))
+    for q, row in completion_snapshots.items():
+        for p in row:
+            pairs.add((p, q))
+    for p, q in pairs:
+        sent = request_snapshots.get(p, {}).get(q, 0)
+        done = completion_snapshots.get(q, {}).get(p, 0)
+        if sent != done:
+            return False
+    return True

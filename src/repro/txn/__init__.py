@@ -1,0 +1,37 @@
+"""Transaction model: tree specs, runtime envelopes, execution history."""
+
+from repro.txn.history import (
+    AdvancementRecord,
+    History,
+    ReadEvent,
+    TxnKind,
+    TxnRecord,
+    WaitReason,
+    WriteEvent,
+)
+from repro.txn.runtime import (
+    CompletionNotice,
+    CompletionTracker,
+    SubtxnInstance,
+    TxnIndex,
+)
+from repro.txn.spec import ReadOp, SubtxnSpec, TransactionSpec, WriteOp, subtxn_id
+
+__all__ = [
+    "AdvancementRecord",
+    "CompletionNotice",
+    "CompletionTracker",
+    "History",
+    "ReadEvent",
+    "ReadOp",
+    "SubtxnInstance",
+    "SubtxnSpec",
+    "TransactionSpec",
+    "TxnIndex",
+    "TxnKind",
+    "TxnRecord",
+    "WaitReason",
+    "WriteEvent",
+    "WriteOp",
+    "subtxn_id",
+]

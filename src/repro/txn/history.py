@@ -1,0 +1,241 @@
+"""Execution history recording.
+
+Every protocol implementation writes what it does into a :class:`History`:
+per-transaction lifecycle records, optional per-operation read/write events,
+wait events, and version-advancement phase timestamps.  The analysis package
+(:mod:`repro.analysis`) consumes these to check serializability, detect
+fractured reads, and compute latency/staleness/throughput — so the checkers
+work identically across 3V and all baselines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+class TxnKind:
+    """Transaction classification constants."""
+
+    READ = "read"
+    UPDATE = "update"
+    NONCOMMUTING = "noncommuting"
+
+
+class WaitReason:
+    """Why a subtransaction was delayed (for Theorem 4.2 accounting)."""
+
+    EXECUTOR = "executor"  # local executor queue (local concurrency control)
+    LOCK = "lock"  # lock-table conflict
+    REMOTE = "remote"  # waiting for a remote response (2PC, global reads)
+    VERSION_GATE = "version-gate"  # NC3V's "wait until vu == vr+1"
+    ADVANCEMENT = "advancement"  # blocked by a (synchronous) advancement
+
+
+@dataclasses.dataclass
+class TxnRecord:
+    """Lifecycle of one transaction."""
+
+    name: str
+    kind: str
+    version: typing.Optional[int]
+    submit_time: float
+    root_node: str
+    #: Root subtransaction committed locally (user-perceived latency for 3V).
+    local_commit_time: typing.Optional[float] = None
+    #: Every subtransaction in the tree has completed.
+    global_complete_time: typing.Optional[float] = None
+    aborted: bool = False
+    abort_reason: str = ""
+    compensated: bool = False
+    subtxn_count: int = 0
+    #: Total delay broken down by :class:`WaitReason`.
+    waits: typing.Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Values returned by read operations, in execution order.
+    reads: typing.List[typing.Tuple[typing.Hashable, typing.Any]] = (
+        dataclasses.field(default_factory=list)
+    )
+
+    @property
+    def local_latency(self) -> typing.Optional[float]:
+        if self.local_commit_time is None:
+            return None
+        return self.local_commit_time - self.submit_time
+
+    @property
+    def global_latency(self) -> typing.Optional[float]:
+        if self.global_complete_time is None:
+            return None
+        return self.global_complete_time - self.submit_time
+
+    @property
+    def total_wait(self) -> float:
+        return sum(self.waits.values())
+
+    @property
+    def remote_wait(self) -> float:
+        """Delay caused by non-local activity — Theorem 4.2 says the 3V
+        protocol keeps this at exactly zero for well-behaved transactions."""
+        return (
+            self.waits.get(WaitReason.REMOTE, 0.0)
+            + self.waits.get(WaitReason.ADVANCEMENT, 0.0)
+            + self.waits.get(WaitReason.VERSION_GATE, 0.0)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadEvent:
+    """One read operation (recorded only when ``detail`` is on)."""
+
+    time: float
+    txn: str
+    subtxn: str
+    node: str
+    key: typing.Hashable
+    version_requested: typing.Optional[int]
+    version_used: typing.Optional[int]
+    value: typing.Any
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteEvent:
+    """One write operation (recorded only when ``detail`` is on)."""
+
+    time: float
+    txn: str
+    subtxn: str
+    node: str
+    key: typing.Hashable
+    version: typing.Optional[int]
+    versions_written: int
+    operation: typing.Any
+    compensating: bool = False
+    #: Exact version numbers touched (a dual write lists both); defaults
+    #: to just ``version`` when the writer doesn't say otherwise.
+    versions: typing.Optional[typing.Tuple[int, ...]] = None
+
+    @property
+    def touched_versions(self) -> typing.Tuple[int, ...]:
+        if self.versions is not None:
+            return self.versions
+        return (self.version,) if self.version is not None else ()
+
+
+@dataclasses.dataclass
+class AdvancementRecord:
+    """Timestamps of one run of the version-advancement protocol."""
+
+    new_update_version: int
+    started: float
+    phase1_done: typing.Optional[float] = None  # all nodes on new vu
+    phase2_done: typing.Optional[float] = None  # old vu quiescent
+    phase3_done: typing.Optional[float] = None  # all nodes on new vr
+    gc_done: typing.Optional[float] = None
+    counter_polls: int = 0
+
+    @property
+    def duration(self) -> typing.Optional[float]:
+        if self.gc_done is None:
+            return None
+        return self.gc_done - self.started
+
+    @property
+    def read_visible_at(self) -> typing.Optional[float]:
+        """When queries could first see the advanced data (end of phase 3)."""
+        return self.phase3_done
+
+
+class History:
+    """Append-only record of everything a simulation did.
+
+    Args:
+        detail: When ``False``, per-operation read/write events are not
+            stored (large benchmark runs); transaction lifecycle records and
+            aggregate statistics are always kept.
+    """
+
+    def __init__(self, detail: bool = True):
+        self.detail = detail
+        self.txns: typing.Dict[str, TxnRecord] = {}
+        self.read_events: typing.List[ReadEvent] = []
+        self.write_events: typing.List[WriteEvent] = []
+        self.advancements: typing.List[AdvancementRecord] = []
+        #: Wait-free check support: count of wait episodes per reason.
+        self.wait_episodes: typing.Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_txn(self, name: str, kind: str, version: typing.Optional[int],
+                  time: float, root_node: str) -> TxnRecord:
+        if name in self.txns:
+            raise ValueError(f"duplicate transaction name: {name!r}")
+        record = TxnRecord(
+            name=name, kind=kind, version=version, submit_time=time,
+            root_node=root_node,
+        )
+        self.txns[name] = record
+        return record
+
+    def txn(self, name: str) -> TxnRecord:
+        return self.txns[name]
+
+    def locally_committed(self, name: str, time: float) -> None:
+        record = self.txns[name]
+        if record.local_commit_time is None:
+            record.local_commit_time = time
+
+    def globally_completed(self, name: str, time: float) -> None:
+        self.txns[name].global_complete_time = time
+
+    def aborted(self, name: str, time: float, reason: str = "") -> None:
+        record = self.txns[name]
+        record.aborted = True
+        record.abort_reason = reason
+        if record.global_complete_time is None:
+            record.global_complete_time = time
+
+    def compensated(self, name: str) -> None:
+        self.txns[name].compensated = True
+
+    def waited(self, name: str, reason: str, duration: float) -> None:
+        if duration <= 0:
+            return
+        record = self.txns[name]
+        record.waits[reason] = record.waits.get(reason, 0.0) + duration
+        self.wait_episodes[reason] = self.wait_episodes.get(reason, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Operation events
+    # ------------------------------------------------------------------
+
+    def read(self, event: ReadEvent) -> None:
+        record = self.txns.get(event.txn)
+        if record is not None:
+            record.reads.append((event.key, event.value))
+        if self.detail:
+            self.read_events.append(event)
+
+    def wrote(self, event: WriteEvent) -> None:
+        if self.detail:
+            self.write_events.append(event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def committed_txns(self, kind: typing.Optional[str] = None
+                       ) -> typing.List[TxnRecord]:
+        """Transactions that finished without aborting, optionally by kind."""
+        return [
+            record
+            for record in self.txns.values()
+            if not record.aborted and (kind is None or record.kind == kind)
+        ]
+
+    def aborted_txns(self) -> typing.List[TxnRecord]:
+        return [record for record in self.txns.values() if record.aborted]
+
+    def count(self, kind: typing.Optional[str] = None) -> int:
+        return len(self.committed_txns(kind))

@@ -1,0 +1,195 @@
+"""Transaction tree specifications (the paper's Section 3 model).
+
+A transaction is "first submitted to one server, which performs its
+subtransaction and then sends subtransactions down to other servers ...
+possibly causing the transaction to visit some servers multiple times".  We
+capture that as a static tree of :class:`SubtxnSpec` nodes, each naming the
+database node it runs on, the operations it performs there, and its child
+subtransactions.  The workload generators build these trees; the protocol
+implementations execute them.
+
+Transaction classes (Section 3.1):
+
+* ``read_only`` — member of the read set R (no write operations anywhere);
+* ``well_behaved`` — member of the update set U with all-commuting
+  operations (the 3V fast path);
+* non-well-behaved — at least one non-commuting operation; only the NC3V
+  protocol accepts these.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import InvalidTransactionSpec
+from repro.storage.values import Operation
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadOp:
+    """Read one data item (at the transaction's version, per the protocol)."""
+
+    key: typing.Hashable
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteOp:
+    """Apply a :class:`~repro.storage.values.Operation` to one data item."""
+
+    key: typing.Hashable
+    operation: Operation
+
+
+OpType = typing.Union[ReadOp, WriteOp]
+
+
+@dataclasses.dataclass
+class SubtxnSpec:
+    """One subtransaction: a node, its local operations, its children.
+
+    Attributes:
+        node: Identifier of the database node this subtransaction runs on.
+        ops: Local operations, executed in order under local concurrency
+            control.
+        children: Subtransactions dispatched to other nodes after the local
+            operations complete (and, per Section 4.1 step 5, after the
+            corresponding request counters are incremented).
+        label: Optional stable suffix used to build human-readable
+            subtransaction ids (Table 1 uses ``i``, ``iq``, ``iqp``).
+        abort_here: If ``True``, this subtransaction aborts after executing
+            its local operations, triggering compensation of the whole tree
+            (Section 3.2).
+    """
+
+    node: str
+    ops: typing.List[OpType] = dataclasses.field(default_factory=list)
+    children: typing.List["SubtxnSpec"] = dataclasses.field(default_factory=list)
+    label: str = ""
+    abort_here: bool = False
+
+    def walk(self) -> typing.Iterator["SubtxnSpec"]:
+        """Yield this spec and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclasses.dataclass
+class TransactionSpec:
+    """A complete transaction tree plus its classification.
+
+    Attributes:
+        name: Unique transaction identifier (also used as the lock owner id).
+        root: The root subtransaction.
+        priority_hint: Optional tie-break information for schedulers (unused
+            by the protocols themselves).
+    """
+
+    name: str
+    root: SubtxnSpec
+    priority_hint: float = 0.0
+
+    def __post_init__(self):
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+
+    @property
+    def is_read_only(self) -> bool:
+        """True when no subtransaction performs a write."""
+        return all(
+            not isinstance(op, WriteOp)
+            for spec in self.root.walk()
+            for op in spec.ops
+        )
+
+    @property
+    def is_well_behaved(self) -> bool:
+        """True when every write operation commutes (Definition 3.1).
+
+        Read-only transactions are trivially well-behaved ("the read set R
+        is well-behaved by definition") but are classified separately.
+        """
+        return all(
+            op.operation.commutes
+            for spec in self.root.walk()
+            for op in spec.ops
+            if isinstance(op, WriteOp)
+        )
+
+    @property
+    def wants_abort(self) -> bool:
+        """True when some subtransaction is scripted to abort."""
+        return any(spec.abort_here for spec in self.root.walk())
+
+    @property
+    def nodes(self) -> typing.Set[str]:
+        """All database nodes the transaction touches."""
+        return {spec.node for spec in self.root.walk()}
+
+    @property
+    def keys_written(self) -> typing.Set[typing.Hashable]:
+        return {
+            op.key
+            for spec in self.root.walk()
+            for op in spec.ops
+            if isinstance(op, WriteOp)
+        }
+
+    @property
+    def keys_read(self) -> typing.Set[typing.Hashable]:
+        return {
+            op.key
+            for spec in self.root.walk()
+            for op in spec.ops
+            if isinstance(op, ReadOp)
+        }
+
+    def subtxn_count(self) -> int:
+        return sum(1 for _ in self.root.walk())
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Reject malformed trees early, with a precise complaint."""
+        if not self.name:
+            raise InvalidTransactionSpec("transaction name must be non-empty")
+        seen: typing.Set[int] = set()
+        for spec in self.root.walk():
+            if id(spec) in seen:
+                raise InvalidTransactionSpec(
+                    f"{self.name}: subtransaction tree contains a cycle or "
+                    "shared node"
+                )
+            seen.add(id(spec))
+            if not spec.node:
+                raise InvalidTransactionSpec(
+                    f"{self.name}: subtransaction with empty node id"
+                )
+            for op in spec.ops:
+                if not isinstance(op, (ReadOp, WriteOp)):
+                    raise InvalidTransactionSpec(
+                        f"{self.name}: unknown operation type "
+                        f"{type(op).__name__}"
+                    )
+        if self.is_read_only and self.wants_abort:
+            raise InvalidTransactionSpec(
+                f"{self.name}: read-only transactions cannot abort "
+                "(they have nothing to compensate)"
+            )
+
+
+def subtxn_id(parent_id: str, child: SubtxnSpec, index: int) -> str:
+    """Build the id of a child subtransaction.
+
+    Uses the child's explicit ``label`` when present (so the paper's example
+    produces ids ``i``, ``iq``, ``iqp``), otherwise ``parent.index``.
+    """
+    if child.label:
+        return parent_id + child.label
+    return f"{parent_id}.{index}"

@@ -1,0 +1,47 @@
+"""Workload generators: generic data recording plus three domain skins."""
+
+from repro.workloads.arrivals import drive, poisson_arrivals, uniform_arrivals
+from repro.workloads.hospital import (
+    DEPARTMENTS,
+    HospitalWorkload,
+    hospital_workload,
+)
+from repro.workloads.recording import (
+    RecordingConfig,
+    RecordingWorkload,
+    balance_key,
+    log_key,
+)
+from repro.workloads.retail import RetailWorkload, retail_workload, store_names
+from repro.workloads.runner import (
+    PROTOCOLS,
+    ExperimentResult,
+    build_system,
+    default_latency,
+    run_recording_experiment,
+)
+from repro.workloads.telecom import TelecomWorkload, switch_names, telecom_workload
+
+__all__ = [
+    "DEPARTMENTS",
+    "ExperimentResult",
+    "HospitalWorkload",
+    "PROTOCOLS",
+    "RecordingConfig",
+    "RecordingWorkload",
+    "RetailWorkload",
+    "TelecomWorkload",
+    "balance_key",
+    "build_system",
+    "default_latency",
+    "drive",
+    "hospital_workload",
+    "log_key",
+    "poisson_arrivals",
+    "retail_workload",
+    "run_recording_experiment",
+    "store_names",
+    "switch_names",
+    "telecom_workload",
+    "uniform_arrivals",
+]

@@ -1,0 +1,216 @@
+"""The paper's running example (Section 2.3, Table 1, Figure 2).
+
+Three sites ``p``, ``q``, ``s`` hold items A, B (at p), D, E (at q), and F
+(at s).  Two update transactions (``i``, version 1, and ``j``, version 2),
+two read transactions (``x``, ``y``), and one version advancement interleave
+so that every interesting case of the 3V protocol occurs:
+
+* ``jp`` (a version-2 descendant) reaches ``p`` before the advancement
+  notice — ``p`` infers the advancement from the subtransaction's version;
+* ``iq`` (a version-1 descendant) reaches ``q`` after ``q`` advanced — it
+  must dual-write D into versions 1 *and* 2, but writes E only at version 1
+  because no version-2 copy of E exists;
+* reads ``x`` and ``y`` use version 0 throughout;
+* after all counters match, the coordinator advances the read version and
+  garbage-collects version 0.
+
+Exact arrival orders are scripted with per-link constant latencies, so a
+run is fully deterministic and can be checked step by step against Table 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.system import ThreeVSystem
+from repro.net.latency import LinkLatency
+from repro.sim.distributions import Constant
+from repro.storage.values import Increment
+from repro.txn.spec import ReadOp, SubtxnSpec, TransactionSpec, WriteOp
+
+#: Initial version-0 values.
+INITIAL = {"A": 10, "B": 20, "D": 30, "E": 40, "F": 50}
+
+#: Increment applied by each subtransaction, keyed by (subtxn, item).
+DELTAS = {
+    ("i", "A"): 1,
+    ("iq", "D"): 2,
+    ("iq", "E"): 3,
+    ("iqp", "B"): 4,
+    ("is", "F"): 5,
+    ("j", "D"): 7,
+    ("jp", "A"): 8,
+}
+
+#: Submission times (simulated seconds).
+SCHEDULE = {
+    "i": 1.0,  # update tx i arrives at node p
+    "x": 1.5,  # read tx x arrives at node p
+    "advancement": 9.0,  # coordinator begins version advancement
+    "j": 10.5,  # update tx j arrives at node q (already advanced)
+    "y": 16.0,  # read tx y arrives at node q
+}
+
+
+def transaction_i() -> TransactionSpec:
+    """Update transaction i: root at p, children iq (at q) and is (at s);
+    iq spawns iqp back at p — the multi-visit tree of Section 2.3."""
+    return TransactionSpec(
+        name="i",
+        root=SubtxnSpec(
+            node="p",
+            ops=[WriteOp("A", Increment(DELTAS[("i", "A")]))],
+            children=[
+                SubtxnSpec(
+                    node="q",
+                    label="q",
+                    ops=[
+                        WriteOp("D", Increment(DELTAS[("iq", "D")])),
+                        WriteOp("E", Increment(DELTAS[("iq", "E")])),
+                    ],
+                    children=[
+                        SubtxnSpec(
+                            node="p",
+                            label="p",
+                            ops=[WriteOp("B", Increment(DELTAS[("iqp", "B")]))],
+                        )
+                    ],
+                ),
+                SubtxnSpec(
+                    node="s",
+                    label="s",
+                    ops=[WriteOp("F", Increment(DELTAS[("is", "F")]))],
+                ),
+            ],
+        ),
+    )
+
+
+def transaction_j() -> TransactionSpec:
+    """Update transaction j: root at q, child jp back at p."""
+    return TransactionSpec(
+        name="j",
+        root=SubtxnSpec(
+            node="q",
+            ops=[WriteOp("D", Increment(DELTAS[("j", "D")]))],
+            children=[
+                SubtxnSpec(
+                    node="p",
+                    label="p",
+                    ops=[WriteOp("A", Increment(DELTAS[("jp", "A")]))],
+                )
+            ],
+        ),
+    )
+
+
+def read_x() -> TransactionSpec:
+    """Read transaction x at p (reads A)."""
+    return TransactionSpec(
+        name="x", root=SubtxnSpec(node="p", ops=[ReadOp("A")])
+    )
+
+
+def read_y() -> TransactionSpec:
+    """Read transaction y at q (reads D)."""
+    return TransactionSpec(
+        name="y", root=SubtxnSpec(node="q", ops=[ReadOp("D")])
+    )
+
+
+def scripted_latencies() -> LinkLatency:
+    """Per-link delays that reproduce Table 1's event ordering."""
+    return LinkLatency(
+        links={
+            # The advancement notice is slow to reach p ...
+            ("coordinator", "p"): Constant(6.0),
+            ("coordinator", "q"): Constant(1.0),
+            ("coordinator", "s"): Constant(1.0),
+            # ... while j's child jp overtakes it,
+            ("q", "p"): Constant(1.2),
+            # and i's child iq is slow enough to find q already advanced.
+            ("p", "q"): Constant(11.0),
+            ("p", "s"): Constant(1.0),
+        },
+        default=Constant(1.0),
+    )
+
+
+@dataclasses.dataclass
+class PaperExampleRun:
+    """Everything a test or benchmark needs to inspect the replay."""
+
+    system: ThreeVSystem
+    snapshots: typing.Dict[str, typing.Dict[str, typing.Dict[int, typing.Any]]]
+
+
+def build_system() -> ThreeVSystem:
+    system = ThreeVSystem(
+        ["p", "q", "s"],
+        seed=0,
+        latency=scripted_latencies(),
+        poll_interval=0.5,
+    )
+    for key in ("A", "B"):
+        system.load("p", key, INITIAL[key])
+    for key in ("D", "E"):
+        system.load("q", key, INITIAL[key])
+    system.load("s", "F", INITIAL["F"])
+    return system
+
+
+def run_example(
+    snapshot_times: typing.Sequence[typing.Tuple[str, float]] = (),
+) -> PaperExampleRun:
+    """Run the full Table 1 scenario.
+
+    Args:
+        snapshot_times: ``(name, time)`` pairs at which to capture the
+            union of all nodes' stores (for Figure 2 comparisons).
+
+    Returns:
+        The finished system plus the requested snapshots.
+    """
+    system = build_system()
+    system.submit_at(SCHEDULE["i"], transaction_i())
+    system.submit_at(SCHEDULE["x"], read_x())
+    system.sim.schedule(
+        SCHEDULE["advancement"] - system.sim.now, system.advance_versions
+    )
+    system.submit_at(SCHEDULE["j"], transaction_j())
+    system.submit_at(SCHEDULE["y"], read_y())
+
+    snapshots: typing.Dict[str, dict] = {}
+    for name, time in snapshot_times:
+        system.sim.schedule(
+            time - system.sim.now, _capture, system, snapshots, name
+        )
+    system.run_until_quiet()
+    return PaperExampleRun(system=system, snapshots=snapshots)
+
+
+def _capture(system: ThreeVSystem, snapshots: dict, name: str) -> None:
+    merged: typing.Dict[str, typing.Dict[int, typing.Any]] = {}
+    for node in system.nodes.values():
+        merged.update(node.store.snapshot())
+    snapshots[name] = merged
+
+
+def expected_final_state() -> typing.Dict[str, typing.Dict[int, int]]:
+    """Ground truth for the end of the scenario (Figure 2, last panel),
+    derived from the protocol rules — see the module docstring."""
+    a0, b0, d0, e0, f0 = (INITIAL[k] for k in ("A", "B", "D", "E", "F"))
+    return {
+        "A": {
+            1: a0 + DELTAS[("i", "A")],
+            2: a0 + DELTAS[("i", "A")] + DELTAS[("jp", "A")],
+        },
+        "B": {1: b0 + DELTAS[("iqp", "B")]},
+        "D": {
+            1: d0 + DELTAS[("iq", "D")],
+            2: d0 + DELTAS[("iq", "D")] + DELTAS[("j", "D")],
+        },
+        "E": {1: e0 + DELTAS[("iq", "E")]},
+        "F": {1: f0 + DELTAS[("is", "F")]},
+    }

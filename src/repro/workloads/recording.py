@@ -1,0 +1,246 @@
+"""The generic data-recording workload (Section 6).
+
+Data recording systems "record data by inserting new data observations into
+a database, and simultaneously update summaries ... derived from the
+recorded data".  This module generates exactly that shape:
+
+* **Recording transactions** (well-behaved updates): for one *entity*
+  (a patient, a phone account, a SKU), insert an observation into the
+  entity's per-node log and increment the entity's per-node summary, on
+  every node the entity spans — a multi-node transaction tree rooted at one
+  of the entity's nodes.
+* **Inquiry transactions** (read-only): read the entity's summary on every
+  node it spans (the "customer enquiry" that must never see a partial
+  visit).
+* **Audit transactions** (read-only): read the summaries of many entities
+  (the "bookkeeping" query).
+* **Correction transactions** (non-commuting, optional): overwrite an
+  entity's summary on its nodes — the non-well-behaved updates NC3V exists
+  for.
+
+Amount modes:
+
+* ``"money"`` — realistic uniformly sampled charges (benchmark runs).
+* ``"bitmask"`` — each recording transaction adds a distinct power of two
+  to every summary it touches.  The amount doubles as a *transaction id
+  embedded in the data*: any later read's value decomposes uniquely into
+  the set of transactions it reflects, which gives the analysis package an
+  exact fractured-read and snapshot-consistency oracle (see
+  :mod:`repro.analysis.serializability`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ReproError
+from repro.sim.distributions import RngRegistry
+from repro.storage.values import Assign, Increment, Record
+from repro.txn.spec import ReadOp, SubtxnSpec, TransactionSpec, WriteOp
+
+
+def balance_key(entity: int):
+    """Summary data item of an entity (same key string on each node)."""
+    return f"bal:{entity}"
+
+
+def log_key(entity: int):
+    """Observation log data item of an entity."""
+    return f"log:{entity}"
+
+
+@dataclasses.dataclass
+class RecordingConfig:
+    """Shape of a data-recording workload.
+
+    Attributes:
+        nodes: Database nodes.
+        entities: Number of distinct entities.
+        span: Nodes per entity (the multi-node fan-out of its records).
+        amount_mode: ``"money"`` or ``"bitmask"`` (see module docstring).
+        charge_low/charge_high: Charge range for ``"money"`` mode.
+        with_observations: Also insert :class:`Record` observations (doubles
+            the write ops per node).
+        audit_entities: Entities read by one audit transaction.
+        abort_fraction: Fraction of recording transactions that abort at
+            their last subtransaction (exercises compensation).
+    """
+
+    nodes: typing.Sequence[str]
+    entities: int = 50
+    span: int = 2
+    amount_mode: str = "money"
+    charge_low: float = 5.0
+    charge_high: float = 500.0
+    with_observations: bool = True
+    audit_entities: int = 10
+    abort_fraction: float = 0.0
+
+    def __post_init__(self):
+        if self.span < 1 or self.span > len(self.nodes):
+            raise ReproError(
+                f"entity span {self.span} invalid for {len(self.nodes)} nodes"
+            )
+        if self.amount_mode not in ("money", "bitmask"):
+            raise ReproError(f"unknown amount mode: {self.amount_mode!r}")
+
+
+class RecordingWorkload:
+    """Generator of recording/inquiry/audit/correction transactions."""
+
+    def __init__(self, config: RecordingConfig, rngs: RngRegistry):
+        self.config = config
+        self.rngs = rngs
+        self._rng = rngs.stream("workload.recording")
+        #: entity -> ordered list of nodes its records live on.
+        self.entity_nodes: typing.Dict[int, typing.List[str]] = {}
+        nodes = list(config.nodes)
+        for entity in range(config.entities):
+            start = self._rng.randrange(len(nodes))
+            self.entity_nodes[entity] = [
+                nodes[(start + i) % len(nodes)] for i in range(config.span)
+            ]
+        #: per-entity counter for bitmask amounts.
+        self._entity_txn_counter: typing.Dict[int, int] = {}
+        #: (name) -> (entity, amount) for ground-truth bookkeeping.
+        self.update_amounts: typing.Dict[str, typing.Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Initial data
+    # ------------------------------------------------------------------
+
+    def install(self, system) -> None:
+        """Load zero balances and empty logs for every entity."""
+        for entity, nodes in self.entity_nodes.items():
+            for node in nodes:
+                system.load(node, balance_key(entity), 0)
+                system.load(node, log_key(entity), ())
+
+    # ------------------------------------------------------------------
+    # Transaction builders
+    # ------------------------------------------------------------------
+
+    def _pick_entity(self) -> int:
+        return self._rng.randrange(self.config.entities)
+
+    def _amount(self, entity: int):
+        if self.config.amount_mode == "bitmask":
+            k = self._entity_txn_counter.get(entity, 0)
+            self._entity_txn_counter[entity] = k + 1
+            return 1 << k
+        return round(self._rng.uniform(self.config.charge_low,
+                                       self.config.charge_high), 2)
+
+    def make_recording(self, index: int) -> TransactionSpec:
+        """A well-behaved multi-node recording transaction."""
+        entity = self._pick_entity()
+        nodes = self.entity_nodes[entity]
+        amount = self._amount(entity)
+        name = f"rec-{index}"
+        self.update_amounts[name] = (entity, amount)
+        abort = (
+            self.config.abort_fraction > 0
+            and self._rng.random() < self.config.abort_fraction
+        )
+
+        def ops(node: str) -> list:
+            result = [WriteOp(balance_key(entity), Increment(amount))]
+            if self.config.with_observations:
+                result.append(
+                    WriteOp(log_key(entity), Record((name, node)))
+                )
+            return result
+
+        children = [
+            SubtxnSpec(node=node, ops=ops(node)) for node in nodes[1:]
+        ]
+        if abort and children:
+            children[-1].abort_here = True
+        root = SubtxnSpec(node=nodes[0], ops=ops(nodes[0]), children=children)
+        if abort and not children:
+            root.abort_here = True
+        return TransactionSpec(name=name, root=root)
+
+    def make_inquiry(self, index: int) -> TransactionSpec:
+        """Read one entity's summary on every node it spans."""
+        entity = self._pick_entity()
+        nodes = self.entity_nodes[entity]
+        children = [
+            SubtxnSpec(node=node, ops=[ReadOp(balance_key(entity))])
+            for node in nodes[1:]
+        ]
+        root = SubtxnSpec(
+            node=nodes[0], ops=[ReadOp(balance_key(entity))], children=children
+        )
+        return TransactionSpec(name=f"inq-{index}:{entity}", root=root)
+
+    def make_audit(self, index: int) -> TransactionSpec:
+        """Read the summaries of several entities (fans out wide)."""
+        count = min(self.config.audit_entities, self.config.entities)
+        entities = self._rng.sample(range(self.config.entities), count)
+        # Group reads by node; root at the busiest node.
+        by_node: typing.Dict[str, list] = {}
+        for entity in entities:
+            for node in self.entity_nodes[entity]:
+                by_node.setdefault(node, []).append(
+                    ReadOp(balance_key(entity))
+                )
+        nodes_sorted = sorted(
+            by_node, key=lambda n: len(by_node[n]), reverse=True
+        )
+        root_node = nodes_sorted[0]
+        children = [
+            SubtxnSpec(node=node, ops=by_node[node])
+            for node in nodes_sorted[1:]
+        ]
+        root = SubtxnSpec(
+            node=root_node, ops=by_node[root_node], children=children
+        )
+        return TransactionSpec(name=f"aud-{index}", root=root)
+
+    def make_correction(self, index: int, value: typing.Optional[int] = None
+                        ) -> TransactionSpec:
+        """A non-commuting overwrite of one entity's summaries (NC3V)."""
+        entity = self._pick_entity()
+        nodes = self.entity_nodes[entity]
+        new_value = value if value is not None else round(
+            self._rng.uniform(0.0, 100.0), 2
+        )
+        children = [
+            SubtxnSpec(node=node,
+                       ops=[WriteOp(balance_key(entity), Assign(new_value))])
+            for node in nodes[1:]
+        ]
+        root = SubtxnSpec(
+            node=nodes[0],
+            ops=[WriteOp(balance_key(entity), Assign(new_value))],
+            children=children,
+        )
+        return TransactionSpec(name=f"cor-{index}", root=root)
+
+    # ------------------------------------------------------------------
+    # Oracles (used by the analysis package)
+    # ------------------------------------------------------------------
+
+    def entity_of_inquiry(self, name: str) -> int:
+        """Recover the entity an inquiry transaction targeted."""
+        return int(name.rsplit(":", 1)[1])
+
+    def committed_mask(self, history, entity: int,
+                       max_version: typing.Optional[int] = None) -> int:
+        """Bitmask of committed recording transactions on ``entity``
+        (optionally only those with version <= ``max_version``)."""
+        mask = 0
+        for name, (ent, amount) in self.update_amounts.items():
+            if ent != entity:
+                continue
+            record = history.txns.get(name)
+            if record is None or record.aborted:
+                continue
+            if max_version is not None and (
+                record.version is None or record.version > max_version
+            ):
+                continue
+            mask |= amount
+        return mask

@@ -1,0 +1,256 @@
+"""Integration tests for the three baseline systems."""
+
+import pytest
+
+from repro.baselines import ManualVersioningSystem, NoCoordSystem, TwoPCSystem
+from repro.net import UniformLatency, constant_latency
+from repro.sim import Uniform
+from repro.storage import Increment
+from repro.txn import ReadOp, SubtxnSpec, TransactionSpec, WriteOp
+
+
+def visit(name, dx=10, dy=20, abort_at_q=False):
+    return TransactionSpec(
+        name=name,
+        root=SubtxnSpec(
+            node="p",
+            ops=[WriteOp("x", Increment(dx))],
+            children=[
+                SubtxnSpec(node="q", ops=[WriteOp("y", Increment(dy))],
+                           abort_here=abort_at_q)
+            ],
+        ),
+    )
+
+
+def query(name):
+    return TransactionSpec(
+        name=name,
+        root=SubtxnSpec(
+            node="p",
+            ops=[ReadOp("x")],
+            children=[SubtxnSpec(node="q", ops=[ReadOp("y")])],
+        ),
+    )
+
+
+def loaded(system):
+    system.load("p", "x", 100)
+    system.load("q", "y", 200)
+    return system
+
+
+class TestNoCoordination:
+    def test_updates_apply_immediately(self):
+        system = loaded(NoCoordSystem(["p", "q"], seed=1))
+        system.submit(visit("t1"))
+        system.run_until_quiet()
+        assert system.value_at("p", "x") == 110
+        assert system.value_at("q", "y") == 220
+
+    def test_fractured_read_possible(self):
+        """A query racing a multi-node update can see only part of it —
+        the paper's motivating anomaly.  The query's root runs at q before
+        t1's child arrives there, but its own child reaches p after t1's
+        root wrote x."""
+        audit = TransactionSpec(
+            name="audit",
+            root=SubtxnSpec(
+                node="q",
+                ops=[ReadOp("y")],
+                children=[SubtxnSpec(node="p", ops=[ReadOp("x")])],
+            ),
+        )
+        system = loaded(
+            NoCoordSystem(["p", "q"], seed=1, latency=constant_latency(5.0))
+        )
+        system.submit_at(1.0, visit("t1"))
+        system.submit_at(1.5, audit)
+        system.run_until_quiet()
+        values = dict(system.history.txn("audit").reads)
+        assert values["y"] == 200  # missed the child's write at q
+        assert values["x"] == 110  # but saw the root's write at p: fractured
+
+    def test_compensation_works_without_versions(self):
+        system = loaded(NoCoordSystem(["p", "q"], seed=1))
+        system.submit(visit("bad", abort_at_q=True))
+        system.run_until_quiet()
+        assert system.value_at("p", "x") == 100
+        assert system.value_at("q", "y") == 200
+        assert system.history.txn("bad").aborted
+
+
+class TestManualVersioning:
+    def test_reads_lag_by_the_period(self):
+        system = loaded(
+            ManualVersioningSystem(["p", "q"], period=100.0, safety_delay=20.0,
+                                   seed=1)
+        )
+        system.submit_at(1.0, visit("t1"))
+        system.submit_at(50.0, query("early"))  # before first switch
+        system.submit_at(130.0, query("late"))  # after switch + delay
+        system.run(until=200.0)
+        system.stop_policy()
+        system.run_until_quiet()
+        early = dict(system.history.txn("early").reads)
+        late = dict(system.history.txn("late").reads)
+        assert early == {"x": 100, "y": 200}  # stale version 0
+        assert late == {"x": 110, "y": 220}  # version 1 readable at 120
+
+    def test_short_safety_delay_misses_straggler(self):
+        """The January-31 failure: a transaction still in flight when the
+        version becomes readable is only partially visible to readers."""
+        from repro.net import LinkLatency
+        from repro.sim import Constant
+
+        system = loaded(
+            ManualVersioningSystem(
+                ["p", "q"], period=10.0, safety_delay=1.5, seed=1,
+                latency=LinkLatency(
+                    links={("p", "q"): Constant(12.0)},  # slow child hop
+                    default=Constant(1.0),
+                ),
+            )
+        )
+        # Root writes x(1) at t=9.5; the child is in flight until t=21.5.
+        # The switch at t=10 makes version 1 readable at t=11.5 + 1 hop,
+        # long before the child lands.
+        system.submit_at(9.5, visit("t1"))
+        bill = TransactionSpec(
+            name="bill",
+            root=SubtxnSpec(
+                node="q",
+                ops=[ReadOp("y")],
+                children=[SubtxnSpec(node="p", ops=[ReadOp("x")])],
+            ),
+        )
+        system.submit_at(14.0, bill)
+        system.run(until=60.0)
+        system.stop_policy()
+        system.run_until_quiet()
+        values = dict(system.history.txn("bill").reads)
+        # The bill sees the root's charge but not the child's: fractured.
+        assert system.history.txn("bill").version == 1
+        assert values["x"] == 110
+        assert values["y"] == 200
+
+    def test_synchronous_switch_blocks_new_roots(self):
+        system = loaded(
+            ManualVersioningSystem(
+                ["p", "q"], period=10.0, synchronous=True, seed=1,
+                latency=constant_latency(1.0),
+            )
+        )
+        # A long stream of updates keeps the system busy; a root arriving
+        # just after the freeze waits for the drain.
+        for k in range(12):
+            system.submit_at(0.5 + k, visit(f"u{k}"))
+        system.run(until=60.0)
+        system.stop_policy()
+        system.run_until_quiet()
+        waits = [
+            system.history.txn(f"u{k}").waits.get("advancement", 0.0)
+            for k in range(12)
+        ]
+        assert max(waits) > 0.0, "some root should have been frozen out"
+
+    def test_synchronous_switch_is_consistent(self):
+        system = loaded(
+            ManualVersioningSystem(
+                ["p", "q"], period=15.0, synchronous=True, seed=1,
+                latency=constant_latency(2.0),
+            )
+        )
+        system.submit_at(1.0, visit("t1"))
+        system.submit_at(20.0, query("audit"))
+        system.run(until=50.0)
+        system.stop_policy()
+        system.run_until_quiet()
+        audit = dict(system.history.txn("audit").reads)
+        assert audit in ({"x": 100, "y": 200}, {"x": 110, "y": 220})
+
+
+class TestTwoPC:
+    def test_committed_update_applies_everywhere(self):
+        system = loaded(TwoPCSystem(["p", "q"], seed=1))
+        system.submit(visit("t1"))
+        system.run_until_quiet()
+        assert system.value_at("p", "x") == 110
+        assert system.value_at("q", "y") == 220
+        record = system.history.txn("t1")
+        assert not record.aborted
+        assert record.global_complete_time is not None
+
+    def test_reads_are_blocked_by_writers(self):
+        """2PL: the query waits for the update's locks — the schedule the
+        paper says global synchronization forbids."""
+        system = loaded(
+            TwoPCSystem(["p", "q"], seed=1, latency=constant_latency(3.0),
+                        retries=4, retry_backoff=8.0)
+        )
+        system.submit_at(1.0, visit("t1"))
+        system.submit_at(1.5, query("audit"))
+        system.run_until_quiet()
+        attempts = [
+            r for r in system.history.txns.values()
+            if r.name.startswith("audit")
+        ]
+        committed = [r for r in attempts if not r.aborted]
+        assert len(committed) == 1
+        values = dict(committed[0].reads)
+        # Never fractured: either fully before or fully after.
+        assert values in ({"x": 100, "y": 200}, {"x": 110, "y": 220})
+        # The query was impeded by the writer: it waited on a lock or was
+        # wait-die aborted and retried.
+        impeded = any(r.aborted for r in attempts) or any(
+            r.waits.get("lock", 0.0) > 0.0 for r in attempts
+        )
+        assert impeded
+
+    def test_remote_wait_is_nonzero(self):
+        system = loaded(
+            TwoPCSystem(["p", "q"], seed=1, latency=constant_latency(3.0))
+        )
+        system.submit(visit("t1"))
+        system.run_until_quiet()
+        assert system.history.txn("t1").remote_wait > 0.0
+
+    def test_wait_die_abort_and_retry(self):
+        """Two transactions locking x and y in opposite orders deadlock;
+        wait-die kills the younger, and the retry commits."""
+        xy = TransactionSpec(
+            name="xy",
+            root=SubtxnSpec(
+                node="p", ops=[WriteOp("x", Increment(1))],
+                children=[SubtxnSpec(node="q", ops=[WriteOp("y", Increment(1))])],
+            ),
+        )
+        yx = TransactionSpec(
+            name="yx",
+            root=SubtxnSpec(
+                node="q", ops=[WriteOp("y", Increment(1))],
+                children=[SubtxnSpec(node="p", ops=[WriteOp("x", Increment(1))])],
+            ),
+        )
+        system = loaded(
+            TwoPCSystem(["p", "q"], seed=1, latency=constant_latency(5.0),
+                        retries=4, retry_backoff=10.0)
+        )
+        system.submit_at(1.0, xy)
+        system.submit_at(1.1, yx)
+        system.run_until_quiet()
+        aborted = [r for r in system.history.txns.values() if r.aborted]
+        assert aborted, "expected at least one wait-die abort"
+        # Both logical transactions eventually applied exactly once.
+        assert system.value_at("p", "x") == 102
+        assert system.value_at("q", "y") == 202
+
+    def test_no_retries_when_disabled(self):
+        bad = TransactionSpec(
+            name="solo",
+            root=SubtxnSpec(node="p", ops=[WriteOp("x", Increment(1))]),
+        )
+        system = loaded(TwoPCSystem(["p", "q"], seed=1, retries=0))
+        system.submit(bad)
+        system.run_until_quiet()
+        assert len(system.history.txns) == 1

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--duration", "8", "--nodes", "3", "--update-rate", "3",
+        "--inquiry-rate", "2", "--entities", "10"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quantum"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "3v"])
+        assert args.nodes == 4
+        assert args.duration == 30.0
+        assert args.period == 10.0
+
+
+class TestRun:
+    def test_run_3v_clean_exit(self, capsys):
+        assert main(["run", "3v"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "audit: clean" in out
+        assert "3v" in out
+
+    def test_run_nocoord_reports_metrics(self, capsys):
+        # no-coordination may or may not fracture at this scale; the CLI
+        # only fails on an audit failure for protocols that promise
+        # consistency, which nocoord does not.
+        code = main(["run", "nocoord"] + FAST)
+        out = capsys.readouterr().out
+        assert "upd/s" in out
+        assert code in (0, 1)
+
+    def test_run_with_corrections(self, capsys):
+        assert main(["run", "3v", "--correction-rate", "0.5"] + FAST) == 0
+
+
+class TestCompare:
+    def test_compare_default_protocols(self, capsys):
+        assert main(["compare"] + FAST) == 0
+        out = capsys.readouterr().out
+        for protocol in ("3v", "nocoord", "manual", "2pc"):
+            assert protocol in out
+
+    def test_compare_subset(self, capsys):
+        assert main(["compare", "3v", "2pc"] + FAST) == 0
+
+
+class TestSweep:
+    def test_sweep_nodes(self, capsys):
+        assert main(["sweep", "3v", "nodes", "2", "4"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "Sweep of nodes" in out
+
+    def test_sweep_period(self, capsys):
+        assert main(["sweep", "3v", "period", "5", "20"] + FAST) == 0
+
+
+class TestPaper:
+    def test_paper_replay_matches(self, capsys):
+        assert main(["paper"]) == 0
+        out = capsys.readouterr().out
+        assert "matches Figure 2: yes" in out
+        assert "dual write" in out

@@ -1,0 +1,151 @@
+"""Tests for the commutativity-aware serialization-graph checker."""
+
+import pytest
+
+from repro.analysis import (
+    build_serialization_graph,
+    equivalent_serial_order,
+    is_conflict_serializable,
+    serialization_cycles,
+)
+from repro.storage import Assign, Increment
+from repro.txn import History, ReadEvent, TxnKind, WriteEvent
+
+
+def history_with(events):
+    """Build a detailed history from (kind, time, txn, node, key, op) rows."""
+    history = History()
+    for row in events:
+        if row[2] not in history.txns:
+            history.begin_txn(row[2], TxnKind.UPDATE, 0, 0.0, row[3])
+            history.globally_completed(row[2], 99.0)
+    for kind, time, txn, node, key, op in events:
+        if kind == "r":
+            history.read(ReadEvent(time, txn, txn, node, key, 0, 0, None))
+        else:
+            history.wrote(WriteEvent(time, txn, txn, node, key, 0, 1, op))
+    return history
+
+
+class TestSyntheticHistories:
+    def test_commuting_writes_induce_no_edges(self):
+        history = history_with([
+            ("w", 1.0, "t1", "a", "x", Increment(1)),
+            ("w", 2.0, "t2", "a", "x", Increment(2)),
+        ])
+        graph = build_serialization_graph(history)
+        assert graph.number_of_edges() == 0
+        assert is_conflict_serializable(history)
+
+    def test_non_commuting_writes_induce_edge(self):
+        history = history_with([
+            ("w", 1.0, "t1", "a", "x", Assign(1)),
+            ("w", 2.0, "t2", "a", "x", Assign(2)),
+        ])
+        graph = build_serialization_graph(history)
+        assert graph.has_edge("t1", "t2")
+        assert not graph.has_edge("t2", "t1")
+
+    def test_read_write_conflicts_ordered_by_time(self):
+        history = history_with([
+            ("r", 1.0, "q", "a", "x", None),
+            ("w", 2.0, "u", "a", "x", Increment(1)),
+        ])
+        graph = build_serialization_graph(history)
+        assert graph.has_edge("q", "u")
+        assert equivalent_serial_order(history) == ["q", "u"]
+
+    def test_fractured_read_creates_cycle(self):
+        """The reader sees x before u at node a, and y after u at node b:
+        u -> reader -> u."""
+        history = history_with([
+            ("w", 1.0, "u", "b", "y", Increment(1)),
+            ("r", 2.0, "q", "b", "y", None),   # u -> q
+            ("r", 3.0, "q", "a", "x", None),
+            ("w", 4.0, "u", "a", "x", Increment(1)),  # q -> u
+        ])
+        assert not is_conflict_serializable(history)
+        cycles = serialization_cycles(history)
+        assert any(set(cycle) == {"u", "q"} for cycle in cycles)
+        with pytest.raises(Exception):
+            equivalent_serial_order(history)
+
+    def test_aborted_txns_excluded(self):
+        history = history_with([
+            ("w", 1.0, "dead", "a", "x", Assign(1)),
+            ("w", 2.0, "t2", "a", "x", Assign(2)),
+        ])
+        history.aborted("dead", 3.0)
+        graph = build_serialization_graph(history)
+        assert list(graph.nodes) == ["t2"]
+
+    def test_different_copies_do_not_conflict(self):
+        """Writes to different versions of the same key touch different
+        physical copies."""
+        history = History()
+        history.begin_txn("t1", TxnKind.UPDATE, 1, 0.0, "a")
+        history.begin_txn("t2", TxnKind.UPDATE, 2, 0.0, "a")
+        history.globally_completed("t1", 9.0)
+        history.globally_completed("t2", 9.0)
+        history.wrote(WriteEvent(1.0, "t1", "t1", "a", "x", 1, 1, Assign(1),
+                                 versions=(1,)))
+        history.wrote(WriteEvent(2.0, "t2", "t2", "a", "x", 2, 1, Assign(2),
+                                 versions=(2,)))
+        graph = build_serialization_graph(history)
+        assert graph.number_of_edges() == 0
+
+    def test_edge_witnesses_recorded(self):
+        history = history_with([
+            ("r", 1.0, "q", "a", "x", None),
+            ("w", 2.0, "u", "a", "x", Increment(1)),
+        ])
+        graph = build_serialization_graph(history)
+        witness = graph["q"]["u"]["witnesses"][0]
+        assert witness.kinds == "rw"
+        assert witness.key == "x"
+
+
+class TestRealHistories:
+    def test_3v_histories_are_conflict_serializable(self):
+        from repro.workloads import run_recording_experiment
+
+        result = run_recording_experiment(
+            "3v", nodes=4, duration=20.0, update_rate=5.0, inquiry_rate=4.0,
+            audit_rate=0.3, entities=10, span=3, seed=14,
+        )
+        assert is_conflict_serializable(result.history)
+
+    def test_2pc_histories_are_conflict_serializable(self):
+        from repro.workloads import run_recording_experiment
+
+        result = run_recording_experiment(
+            "2pc", nodes=4, duration=20.0, update_rate=5.0, inquiry_rate=4.0,
+            audit_rate=0.3, entities=10, span=3, seed=14,
+        )
+        assert is_conflict_serializable(result.history)
+
+    def test_nocoord_histories_are_not(self):
+        from repro.workloads import run_recording_experiment
+
+        result = run_recording_experiment(
+            "nocoord", nodes=4, duration=30.0, update_rate=6.0,
+            inquiry_rate=5.0, audit_rate=0.3, entities=8, span=3, seed=14,
+        )
+        cycles = serialization_cycles(result.history)
+        assert cycles, "expected a serialization cycle under no coordination"
+
+    def test_agrees_with_bitmask_oracle(self):
+        """Cross-validation of the two instruments: on the same runs the
+        graph checker and the bitmask oracle reach the same verdict."""
+        from repro.analysis import audit
+        from repro.workloads import run_recording_experiment
+
+        for protocol, seed in (("3v", 3), ("nocoord", 3)):
+            result = run_recording_experiment(
+                protocol, nodes=4, duration=25.0, update_rate=6.0,
+                inquiry_rate=5.0, audit_rate=0.2, entities=8, span=3,
+                seed=seed,
+            )
+            oracle_clean = audit(result.history).clean
+            graph_clean = is_conflict_serializable(result.history)
+            assert oracle_clean == graph_clean, protocol

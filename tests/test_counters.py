@@ -1,0 +1,84 @@
+"""Unit tests for request/completion counter tables and the quiescence check."""
+
+import pytest
+
+from repro.errors import CounterError
+from repro.storage import CounterTable, quiescent
+
+
+@pytest.fixture
+def table():
+    t = CounterTable("p")
+    t.ensure_version(1)
+    return t
+
+
+class TestCounterTable:
+    def test_increments_accumulate(self, table):
+        table.inc_request(1, "q")
+        table.inc_request(1, "q")
+        table.inc_request(1, "s")
+        assert table.requests(1) == {"q": 2, "s": 1}
+
+    def test_completion_counters_keyed_by_source(self, table):
+        table.inc_completion(1, "q")
+        table.inc_completion(1, "p")
+        assert table.completions(1) == {"q": 1, "p": 1}
+
+    def test_unallocated_version_raises(self, table):
+        with pytest.raises(CounterError):
+            table.inc_request(2, "q")
+        with pytest.raises(CounterError):
+            table.inc_completion(2, "q")
+
+    def test_point_reads_default_to_zero(self, table):
+        assert table.request_count(1, "q") == 0
+        assert table.completion_count(99, "q") == 0
+
+    def test_snapshots_are_copies(self, table):
+        table.inc_request(1, "q")
+        snap = table.requests(1)
+        table.inc_request(1, "q")
+        assert snap == {"q": 1}
+
+    def test_gc_below_drops_old_versions(self, table):
+        table.ensure_version(2)
+        table.inc_request(1, "q")
+        table.inc_request(2, "q")
+        table.gc_below(2)
+        assert table.versions() == [2]
+        assert table.request_count(1, "q") == 0
+        assert table.request_count(2, "q") == 1
+
+    def test_ensure_version_idempotent(self, table):
+        table.inc_request(1, "q")
+        table.ensure_version(1)
+        assert table.request_count(1, "q") == 1
+
+
+class TestQuiescence:
+    def test_empty_system_is_quiescent(self):
+        assert quiescent({}, {})
+
+    def test_matching_counters_quiescent(self):
+        requests = {"p": {"p": 1, "q": 2}, "q": {"p": 1}}
+        completions = {"p": {"p": 1, "q": 1}, "q": {"p": 2}}
+        assert quiescent(requests, completions)
+
+    def test_in_flight_request_not_quiescent(self):
+        requests = {"p": {"q": 2}}
+        completions = {"q": {"p": 1}}
+        assert not quiescent(requests, completions)
+
+    def test_missing_rows_count_as_zero(self):
+        assert not quiescent({"p": {"q": 1}}, {})
+        assert not quiescent({}, {"q": {"p": 1}})
+
+    def test_zero_entries_are_quiescent(self):
+        assert quiescent({"p": {"q": 0}}, {"q": {}})
+
+    def test_per_pair_check(self):
+        """Totals matching is NOT enough: equality must hold per pair."""
+        requests = {"p": {"q": 2, "s": 0}}
+        completions = {"q": {"p": 1}, "s": {"p": 1}}
+        assert not quiescent(requests, completions)

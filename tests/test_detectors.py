@@ -1,0 +1,169 @@
+"""Quiescence-detector ablation (experiment C7).
+
+Under the paper's literal Section 4.1 semantics ("immediate" completion —
+a subtransaction increments its completion counter as soon as it has
+dispatched its children and committed), only the two-wave counter read is
+sound.  These tests build the deterministic straggler scenario from
+Section 2.2 — "a subtransaction running on version 1 on node p might have
+sent a child subtransaction to node q and committed on node p; while the
+child subtransaction is in transit, no server may be running any
+transactions against version 1" — and show:
+
+* the two-wave detector refuses to declare quiescence until the straggler
+  chain lands;
+* the interleaved single-pass read declares quiescence while the
+  grandchild is still in flight (a new request slipped between its R and
+  C waves);
+* the naive active-transaction poll declares quiescence even earlier;
+* as a consequence, both unsound detectors let Phase 3 expose a version
+  that later mutates — observable as two same-version reads returning
+  different values (a direct Theorem 4.1 violation).
+"""
+
+import pytest
+
+from repro.core import NodeConfig, ThreeVSystem
+from repro.net import LinkLatency
+from repro.sim import Constant
+from repro.storage import Increment
+from repro.txn import ReadOp, SubtxnSpec, TransactionSpec, WriteOp
+
+
+def straggler_system(detector: str, completion: str = "immediate"):
+    """p -> q -> p transaction chain with a slow q->p leg."""
+    system = ThreeVSystem(
+        ["p", "q"],
+        seed=0,
+        latency=LinkLatency(
+            links={
+                ("p", "q"): Constant(4.5),  # child iq in transit 9.5->14.0
+                ("q", "p"): Constant(5.0),  # grandchild in transit 14->19
+            },
+            default=Constant(1.0),  # coordinator links
+        ),
+        poll_interval=0.5,
+        detector=detector,
+        node_config=NodeConfig(completion=completion),
+    )
+    system.load("p", "A", 0)
+    system.load("p", "B", 0)
+    system.load("q", "D", 0)
+    return system
+
+
+def chain_txn():
+    return TransactionSpec(
+        name="i",
+        root=SubtxnSpec(
+            node="p",
+            ops=[WriteOp("A", Increment(1))],
+            children=[
+                SubtxnSpec(
+                    node="q",
+                    label="q",
+                    ops=[WriteOp("D", Increment(1))],
+                    children=[
+                        SubtxnSpec(
+                            node="p",
+                            label="p",
+                            ops=[WriteOp("B", Increment(1))],
+                        )
+                    ],
+                )
+            ],
+        ),
+    )
+
+
+def read_b(name):
+    return TransactionSpec(
+        name=name, root=SubtxnSpec(node="p", ops=[ReadOp("B")])
+    )
+
+
+def run_scenario(detector: str):
+    system = straggler_system(detector)
+    system.submit_at(9.5, chain_txn())
+    system.sim.schedule(10.0, system.advance_versions)
+    system.submit_at(17.5, read_b("early-read"))
+    system.submit_at(30.0, read_b("late-read"))
+    system.run_until_quiet()
+    return system
+
+
+def grandchild_write_time(system) -> float:
+    return next(
+        e.time for e in system.history.write_events if e.subtxn == "iqp"
+    )
+
+
+class TestTwoWaveIsSound:
+    def test_phase2_waits_for_straggler_chain(self):
+        system = run_scenario("two-wave")
+        record = system.history.advancements[0]
+        assert record.phase2_done >= grandchild_write_time(system)
+
+    def test_same_version_reads_agree(self):
+        system = run_scenario("two-wave")
+        early = system.history.txn("early-read")
+        late = system.history.txn("late-read")
+        # Both read version 1; with a sound detector version 1 was frozen
+        # before becoming readable, so they agree.
+        if early.version == late.version:
+            assert early.reads == late.reads
+
+    def test_sound_under_hierarchical_completion_too(self):
+        system = straggler_system("two-wave", completion="hierarchical")
+        system.submit_at(9.5, chain_txn())
+        system.sim.schedule(10.0, system.advance_versions)
+        system.run_until_quiet()
+        record = system.history.advancements[0]
+        assert record.phase2_done >= grandchild_write_time(system)
+
+
+class TestInterleavedIsUnsound:
+    def test_declares_quiescence_with_grandchild_in_flight(self):
+        system = run_scenario("interleaved")
+        record = system.history.advancements[0]
+        assert record.phase2_done < grandchild_write_time(system)
+
+    def test_exposes_mutating_version_to_reads(self):
+        system = run_scenario("interleaved")
+        early = system.history.txn("early-read")
+        late = system.history.txn("late-read")
+        assert early.version == 1
+        assert late.version == 1
+        # Same version, different values: Theorem 4.1 violated.
+        assert early.reads == [("B", 0)]
+        assert late.reads == [("B", 1)]
+
+
+class TestActivePollIsUnsound:
+    def test_declares_quiescence_while_child_in_transit(self):
+        system = run_scenario("active-poll")
+        record = system.history.advancements[0]
+        assert record.phase2_done < grandchild_write_time(system)
+
+    def test_declares_even_before_child_lands_at_q(self):
+        system = run_scenario("active-poll")
+        record = system.history.advancements[0]
+        iq_write = next(
+            e.time for e in system.history.write_events if e.subtxn == "iq"
+        )
+        assert record.phase2_done < iq_write
+
+    def test_sound_detector_costs_more_polls(self):
+        sound = run_scenario("two-wave")
+        naive = run_scenario("active-poll")
+        assert (
+            sound.history.advancements[0].counter_polls
+            >= naive.history.advancements[0].counter_polls
+        )
+
+
+class TestUnknownDetector:
+    def test_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            straggler_system("psychic")

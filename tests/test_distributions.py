@@ -1,0 +1,110 @@
+"""Unit tests for RNG streams and distributions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Constant,
+    Exponential,
+    LogNormal,
+    RngRegistry,
+    Uniform,
+)
+
+
+class TestConstant:
+    def test_sample_and_mean(self):
+        d = Constant(2.5)
+        assert d.sample(RngRegistry(0).stream("x")) == 2.5
+        assert d.mean() == 2.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Constant(-1.0)
+
+    def test_repr(self):
+        assert "2.5" in repr(Constant(2.5))
+
+
+class TestUniform:
+    def test_bounds_respected(self):
+        d = Uniform(1.0, 3.0)
+        rng = RngRegistry(0).stream("x")
+        samples = [d.sample(rng) for _ in range(500)]
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert d.mean() == 2.0
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(SimulationError):
+            Uniform(3.0, 1.0)
+
+    def test_negative_low_rejected(self):
+        with pytest.raises(SimulationError):
+            Uniform(-1.0, 1.0)
+
+
+class TestExponential:
+    def test_mean_approximately_respected(self):
+        d = Exponential(2.0)
+        rng = RngRegistry(0).stream("x")
+        samples = [d.sample(rng) for _ in range(5000)]
+        assert 1.8 < sum(samples) / len(samples) < 2.2
+        assert d.mean() == 2.0
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(SimulationError):
+            Exponential(0.0)
+
+
+class TestLogNormal:
+    @given(st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=0.1, max_value=2.0))
+    def test_empirical_mean_matches_parameter(self, mean, sigma):
+        d = LogNormal(mean, sigma)
+        rng = RngRegistry(0).stream("x")
+        samples = [d.sample(rng) for _ in range(4000)]
+        empirical = sum(samples) / len(samples)
+        # Heavy-tailed: allow a generous band.
+        assert 0.5 * mean < empirical < 2.0 * mean
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            LogNormal(0.0)
+        with pytest.raises(SimulationError):
+            LogNormal(1.0, sigma=0.0)
+
+
+class TestRngRegistry:
+    def test_streams_are_stable_per_name(self):
+        a = RngRegistry(7).stream("alpha").random()
+        b = RngRegistry(7).stream("alpha").random()
+        assert a == b
+
+    def test_streams_differ_by_name(self):
+        rngs = RngRegistry(7)
+        assert rngs.stream("alpha").random() != rngs.stream("beta").random()
+
+    def test_streams_differ_by_seed(self):
+        assert (
+            RngRegistry(1).stream("x").random()
+            != RngRegistry(2).stream("x").random()
+        )
+
+    def test_stream_creation_order_irrelevant(self):
+        """Adding a new stream must not perturb existing ones."""
+        first = RngRegistry(9)
+        _ = first.stream("a").random()
+        value_b_after_a = first.stream("b").random()
+        second = RngRegistry(9)
+        value_b_alone = second.stream("b").random()
+        assert value_b_after_a == value_b_alone
+
+    def test_sample_helper(self):
+        rngs = RngRegistry(0)
+        assert rngs.sample("s", Constant(4.0)) == 4.0
+
+    def test_same_stream_object_returned(self):
+        rngs = RngRegistry(0)
+        assert rngs.stream("x") is rngs.stream("x")

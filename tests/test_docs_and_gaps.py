@@ -1,0 +1,83 @@
+"""Docstring examples and small remaining coverage gaps."""
+
+import doctest
+
+import pytest
+
+import repro.sim.simulator
+from repro.net import LinkLatency, MessageKind, Network
+from repro.sim import Constant, RngRegistry, Simulator
+
+
+class TestDoctests:
+    def test_simulator_docstring_example(self):
+        results = doctest.testmod(repro.sim.simulator, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0
+
+
+class TestLatencyFallthrough:
+    def test_link_latency_default(self):
+        model = LinkLatency(links={("a", "b"): Constant(9.0)})
+        rngs = RngRegistry(0)
+        assert model.delay("a", "b", rngs) == 9.0
+        assert model.delay("b", "a", rngs) == 1.0  # built-in default
+
+    def test_link_latency_custom_default(self):
+        model = LinkLatency(links={}, default=Constant(3.0))
+        assert model.delay("x", "y", RngRegistry(0)) == 3.0
+
+
+class TestNetworkStatsDetails:
+    def test_latency_totals_by_kind(self):
+        sim = Simulator()
+        network = Network(sim, rngs=RngRegistry(0))
+        network.register("a")
+        network.register("b")
+        network.send("a", "b", MessageKind.SUBTXN_REQUEST)
+        network.send("a", "b", MessageKind.SUBTXN_REQUEST)
+        sim.run()
+        stats = network.stats
+        assert stats.sent_by_kind[MessageKind.SUBTXN_REQUEST] == 2
+        assert stats.total_latency_by_kind[
+            MessageKind.SUBTXN_REQUEST
+        ] == pytest.approx(2.0)
+
+    def test_negative_latency_model_rejected(self):
+        from repro.errors import SimulationError
+        from repro.net.latency import LatencyModel
+
+        class Broken(LatencyModel):
+            def delay(self, src, dst, rngs):
+                return -1.0
+
+        sim = Simulator()
+        network = Network(sim, rngs=RngRegistry(0), latency=Broken())
+        network.register("a")
+        network.register("b")
+        with pytest.raises(SimulationError):
+            network.send("a", "b", MessageKind.SUBTXN_REQUEST)
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.net
+        import repro.sim
+        import repro.storage
+        import repro.txn
+        import repro.workloads
+
+        for module in (repro.analysis, repro.baselines, repro.core,
+                       repro.net, repro.sim, repro.storage, repro.txn,
+                       repro.workloads):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

@@ -1,0 +1,60 @@
+"""Keep the example scripts runnable: execute each one (scaled down)."""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFastExamplesAsSubprocess:
+    @pytest.mark.parametrize(
+        "script",
+        ["quickstart.py", "paper_walkthrough.py", "federated_audit.py"],
+    )
+    def test_runs_cleanly(self, script):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES / script)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip()
+
+
+class TestHeavierExamplesScaledDown:
+    def test_hospital_billing(self, capsys):
+        module = load_example("hospital_billing")
+        module.SETTINGS.update(duration=15.0, update_rate=3.0,
+                               inquiry_rate=2.0, entities=10)
+        module.main()
+        out = capsys.readouterr().out
+        assert "3V (paper)" in out
+        assert "global 2PL+2PC" in out
+
+    def test_telecom_calls(self, capsys):
+        module = load_example("telecom_calls")
+        module.DURATION = 20.0
+        module.CALL_RATE = 8.0
+        module.CHECK_RATE = 2.0
+        module.SWITCHES = 4
+        module.main()
+        out = capsys.readouterr().out
+        assert "staleness" in out
+
+    def test_noncommuting_inventory(self, capsys):
+        module = load_example("noncommuting_inventory")
+        module.DURATION = 20.0
+        module.STORES = 4
+        module.main()
+        out = capsys.readouterr().out
+        assert "stock takes" in out

@@ -1,0 +1,190 @@
+"""End-to-end experiments: every protocol under the same recording load.
+
+These are the library's highest-value tests: they drive randomized Poisson
+traffic through all five systems and check the paper's central claims with
+the exact bitmask oracle — 3V and 2PC are serializable, no-coordination
+and undersized manual versioning are not, and only 3V combines zero remote
+waits with bounded staleness.
+"""
+
+import pytest
+
+from repro.analysis import (
+    audit,
+    latency_summary,
+    max_remote_wait,
+    staleness_summary,
+    throughput,
+)
+from repro.core import check_all
+from repro.workloads import run_recording_experiment
+
+COMMON = dict(
+    nodes=4,
+    duration=40.0,
+    update_rate=4.0,
+    inquiry_rate=3.0,
+    audit_rate=0.3,
+    entities=12,  # few entities -> high contention -> races likely
+    span=3,
+    seed=11,
+    amount_mode="bitmask",
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        protocol: run_recording_experiment(protocol, **COMMON)
+        for protocol in ("3v", "nocoord", "manual", "manual-sync", "2pc")
+    }
+
+
+class TestCorrectness:
+    def test_3v_is_snapshot_consistent(self, results):
+        result = results["3v"]
+        report = audit(result.history, result.workload, check_snapshots=True)
+        assert report.reads_checked > 50
+        assert report.clean, report.violations[:5]
+
+    def test_3v_invariants_hold_at_end(self, results):
+        check_all(results["3v"].system)
+
+    def test_3v_advanced_several_times(self, results):
+        assert results["3v"].system.coordinator.completed_runs >= 2
+
+    def test_nocoord_produces_fractured_reads(self, results):
+        report = audit(results["nocoord"].history)
+        assert report.fractured_reads > 0
+
+    def test_manual_with_short_delay_produces_fractured_reads(self):
+        result = run_recording_experiment(
+            "manual", safety_delay=0.4, advancement_period=5.0, **COMMON
+        )
+        report = audit(result.history)
+        assert report.fractured_reads > 0
+
+    def test_manual_sync_is_consistent(self, results):
+        report = audit(results["manual-sync"].history)
+        assert report.clean, report.violations[:5]
+
+    def test_2pc_is_consistent(self, results):
+        report = audit(results["2pc"].history)
+        assert report.clean, report.violations[:5]
+
+
+class TestPerformanceShape:
+    def test_3v_has_zero_remote_waits(self, results):
+        assert max_remote_wait(results["3v"].history) == 0.0
+
+    def test_2pc_has_remote_waits(self, results):
+        assert max_remote_wait(results["2pc"].history) > 0.0
+
+    def test_3v_latency_tracks_nocoord(self, results):
+        """3V's user-perceived update latency should be within a small
+        factor of the uncoordinated lower bound."""
+        l3v = latency_summary(results["3v"].history, kind="update").p95
+        lnc = latency_summary(results["nocoord"].history, kind="update").p95
+        assert l3v <= lnc * 2 + 0.01
+
+    def test_2pc_latency_much_worse_than_3v(self, results):
+        l3v = latency_summary(results["3v"].history, kind="update",
+                              which="global").mean
+        l2pc = latency_summary(results["2pc"].history, kind="update",
+                               which="global").mean
+        assert l2pc > l3v * 2
+
+    def test_manual_sync_stalls_transactions(self, results):
+        from repro.analysis import wait_summary
+
+        waits = wait_summary(results["manual-sync"].history)
+        assert waits.get("advancement", 0.0) > 0.0
+
+    def test_3v_staleness_bounded_by_advancement_cadence(self, results):
+        history = results["3v"].history
+        staleness = staleness_summary(history)
+        # A read's snapshot age is bounded by the gap between consecutive
+        # version closings (period + advancement duration), not unbounded
+        # like monthly manual versioning.
+        closings = sorted(
+            record.phase1_done for record in history.advancements
+            if record.phase1_done is not None
+        )
+        gaps = [b - a for a, b in zip(closings, closings[1:])]
+        gaps.append(results["3v"].duration - closings[-1])
+        bound = max(closings[0], max(gaps)) + 5.0
+        assert staleness.max <= bound
+
+    def test_coordination_free_protocols_keep_up_with_offered_load(
+        self, results
+    ):
+        """3V, no-coordination, and manual versioning absorb the full
+        offered update rate; 2PC collapses under contention — exactly the
+        paper's scalability argument."""
+        for protocol in ("3v", "nocoord", "manual", "manual-sync"):
+            rate = throughput(
+                results[protocol].history, results[protocol].duration,
+                kind="update",
+            )
+            assert rate > 3.0, protocol
+        rate_2pc = throughput(results["2pc"].history,
+                              results["2pc"].duration, kind="update")
+        rate_3v = throughput(results["3v"].history,
+                             results["3v"].duration, kind="update")
+        assert rate_2pc > 0.3
+        assert rate_2pc < rate_3v
+
+    def test_version_bound_respected(self, results):
+        for node in results["3v"].system.nodes.values():
+            assert node.store.max_live_versions <= 3
+
+
+class TestCompensationUnderLoad:
+    def test_aborted_recordings_leave_no_trace(self):
+        result = run_recording_experiment(
+            "3v", abort_fraction=0.2, **COMMON
+        )
+        report = audit(result.history, result.workload, check_snapshots=True)
+        assert report.compensated_txns > 0
+        assert report.clean, report.violations[:5]
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        small = dict(COMMON, duration=10.0)
+        a = run_recording_experiment("3v", **small)
+        b = run_recording_experiment("3v", **small)
+        assert a.submitted == b.submitted
+        la = [(r.name, r.local_commit_time) for r in a.history.txns.values()]
+        lb = [(r.name, r.local_commit_time) for r in b.history.txns.values()]
+        assert la == lb
+
+    def test_different_seed_different_timing(self):
+        small = dict(COMMON, duration=10.0)
+        a = run_recording_experiment("3v", **small)
+        small["seed"] = 12
+        b = run_recording_experiment("3v", **small)
+        assert a.history.txns.keys() != b.history.txns.keys() or (
+            [r.local_commit_time for r in a.history.txns.values()]
+            != [r.local_commit_time for r in b.history.txns.values()]
+        )
+
+
+class TestNoncommutingMix:
+    def test_corrections_run_under_nc3v(self):
+        result = run_recording_experiment(
+            "3v", correction_rate=0.3, **dict(COMMON, amount_mode="money")
+        )
+        history = result.history
+        nc = [
+            r for r in history.txns.values() if r.kind == "noncommuting"
+        ]
+        assert nc, "corrections were generated"
+        committed = [r for r in nc if not r.aborted]
+        assert committed, "at least some corrections commit"
+        # Read-only transactions take no locks and never wait on remote
+        # activity even with NC traffic around (local executor queueing is
+        # the only delay they may see).
+        reads = [r for r in history.committed_txns("read")]
+        assert all(r.waits.get("lock", 0.0) == 0.0 for r in reads)
+        assert all(r.remote_wait == 0.0 for r in reads)

@@ -1,0 +1,158 @@
+"""Unit tests for the commuting/non-commuting lock table (Section 5)."""
+
+import pytest
+
+from repro.errors import DeadlockAbort, LockError
+from repro.sim import Simulator
+from repro.storage import LockMode, LockTable, compatible
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def locks(sim):
+    return LockTable(sim)
+
+
+def granted(event, sim):
+    sim.run()
+    return event.triggered and event.ok
+
+
+class TestCompatibilityMatrix:
+    def test_commuting_locks_mutually_compatible(self):
+        assert compatible(LockMode.CR, LockMode.CR)
+        assert compatible(LockMode.CR, LockMode.CW)
+        assert compatible(LockMode.CW, LockMode.CR)
+        assert compatible(LockMode.CW, LockMode.CW)
+
+    def test_commuting_write_conflicts_non_commuting(self):
+        assert not compatible(LockMode.CW, LockMode.NR)
+        assert not compatible(LockMode.CW, LockMode.NW)
+        assert not compatible(LockMode.NR, LockMode.CW)
+        assert not compatible(LockMode.NW, LockMode.CW)
+
+    def test_reads_compatible_across_families(self):
+        assert compatible(LockMode.CR, LockMode.NR)
+        assert compatible(LockMode.NR, LockMode.CR)
+
+    def test_nw_conflicts_with_everything(self):
+        for mode in LockMode.ALL:
+            assert not compatible(LockMode.NW, mode)
+            assert not compatible(mode, LockMode.NW)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(LockError):
+            compatible("X", LockMode.CR)
+
+
+class TestCommutingFastPath:
+    def test_many_commuting_writers_never_wait(self, sim, locks):
+        """The zero-wait property: CW locks are always granted immediately."""
+        for i in range(50):
+            event = locks.acquire("balance", LockMode.CW, f"t{i}", float(i))
+            assert event.triggered and event.ok
+        assert locks.immediate_grants == 50
+        assert locks.waits == 0
+
+    def test_release_all_clears_holdings(self, sim, locks):
+        locks.acquire("k", LockMode.CW, "t1", 0.0)
+        locks.release_all("t1")
+        assert locks.holders_of("k") == {}
+        assert locks.held_keys("t1") == set()
+
+    def test_reacquire_same_mode_is_noop_grant(self, sim, locks):
+        first = locks.acquire("k", LockMode.CW, "t1", 0.0)
+        second = locks.acquire("k", LockMode.CW, "t1", 0.0)
+        assert first.ok and second.ok
+        assert locks.holders_of("k") == {"t1": LockMode.CW}
+
+    def test_upgrade_cr_to_cw(self, sim, locks):
+        locks.acquire("k", LockMode.CR, "t1", 0.0)
+        upgrade = locks.acquire("k", LockMode.CW, "t1", 0.0)
+        assert upgrade.ok
+        assert locks.holders_of("k") == {"t1": LockMode.CW}
+
+    def test_cross_family_reacquire_rejected(self, sim, locks):
+        locks.acquire("k", LockMode.CR, "t1", 0.0)
+        with pytest.raises(LockError):
+            locks.acquire("k", LockMode.NW, "t1", 0.0)
+
+
+class TestNonCommutingBlocking:
+    def test_nw_blocks_cw_until_release(self, sim, locks):
+        locks.acquire("k", LockMode.NW, "nc", 0.0)
+        # The commuting requester is older than the holder, so it waits
+        # (wait-die applies uniformly; a younger requester would die).
+        waiter = locks.acquire("k", LockMode.CW, "wb", -1.0)
+        assert not waiter.triggered
+        assert locks.queue_length("k") == 1
+        locks.release_all("nc")
+        sim.run()
+        assert waiter.ok
+        assert locks.holders_of("k") == {"wb": LockMode.CW}
+
+    def test_fifo_no_overtaking_past_queue(self, sim, locks):
+        """A compatible latecomer must not jump over a queued conflicting
+        request (prevents starvation of NW behind a stream of CWs)."""
+        locks.acquire("k", LockMode.CW, "t1", 0.0)
+        nw = locks.acquire("k", LockMode.NW, "t2", -1.0)  # older: waits
+        cw = locks.acquire("k", LockMode.CW, "t3", 2.0)  # queued behind NW
+        assert not nw.triggered and not cw.triggered
+        locks.release_all("t1")
+        sim.run()
+        assert nw.ok
+        assert not cw.triggered
+        locks.release_all("t2")
+        sim.run()
+        assert cw.ok
+
+    def test_wait_die_younger_requester_dies(self, sim, locks):
+        locks.acquire("k", LockMode.NW, "older", 0.0)
+        young = locks.acquire("k", LockMode.NW, "younger", 5.0)
+        sim.run()
+        assert young.triggered and not young.ok
+        with pytest.raises(DeadlockAbort):
+            _ = young.value
+        assert locks.deadlock_aborts == 1
+
+    def test_wait_die_older_requester_waits(self, sim, locks):
+        locks.acquire("k", LockMode.NW, "younger", 5.0)
+        old = locks.acquire("k", LockMode.NW, "older", 1.0)
+        assert not old.triggered
+        locks.release_all("younger")
+        sim.run()
+        assert old.ok
+
+    def test_wait_time_accounted(self, sim, locks):
+        locks.acquire("k", LockMode.NW, "a", 0.0)
+        locks.acquire("k", LockMode.NW, "b", 0.0 - 1.0)  # older, will wait
+        sim.schedule(7.0, locks.release_all, "a")
+        sim.run()
+        assert locks.wait_time == pytest.approx(7.0)
+
+    def test_cancel_waits_removes_queued_request(self, sim, locks):
+        locks.acquire("k", LockMode.NW, "a", 0.0)
+        locks.acquire("k", LockMode.NW, "b", -1.0)
+        locks.cancel_waits("b")
+        assert locks.queue_length("k") == 0
+        locks.release_all("a")
+        sim.run()
+        assert locks.holders_of("k") == {}
+
+    def test_upgrade_conflict_dies(self, sim, locks):
+        locks.acquire("k", LockMode.NR, "a", 0.0)
+        locks.acquire("k", LockMode.NR, "b", 1.0)
+        upgrade = locks.acquire("k", LockMode.NW, "a", 0.0)
+        sim.run()
+        assert upgrade.triggered and not upgrade.ok
+
+    def test_release_unknown_txn_is_noop(self, sim, locks):
+        locks.release_all("ghost")
+
+    def test_unknown_mode_rejected(self, sim, locks):
+        with pytest.raises(LockError):
+            locks.acquire("k", "SUPER", "t", 0.0)

@@ -1,0 +1,219 @@
+"""Unit and property tests for the multi-version store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MissingItemError, MissingVersionError, StorageError
+from repro.storage import Increment, MVStore
+
+
+@pytest.fixture
+def store():
+    s = MVStore()
+    s.load("A", 100, version=0)
+    s.load("B", 200, version=0)
+    return s
+
+
+class TestReads:
+    def test_read_max_leq_exact(self, store):
+        assert store.read_max_leq("A", 0) == 100
+
+    def test_read_max_leq_falls_back_to_older(self, store):
+        assert store.read_max_leq("A", 5) == 100
+
+    def test_read_max_leq_missing_raises(self, store):
+        with pytest.raises(MissingItemError):
+            store.read_max_leq("ghost", 3)
+
+    def test_read_max_leq_default(self, store):
+        assert store.read_max_leq("ghost", 3, default=None) is None
+
+    def test_read_below_lowest_version_raises(self):
+        store = MVStore()
+        store.load("A", 1, version=5)
+        with pytest.raises(MissingItemError):
+            store.read_max_leq("A", 4)
+
+    def test_get_exact(self, store):
+        assert store.get_exact("A", 0) == 100
+        with pytest.raises(MissingVersionError):
+            store.get_exact("A", 1)
+
+    def test_exists_and_exists_above(self, store):
+        assert store.exists("A", 0)
+        assert not store.exists("A", 1)
+        assert not store.exists_above("A", 0)
+        store.ensure_version("A", 2)
+        assert store.exists_above("A", 0)
+        assert store.exists_above("A", 1)
+        assert not store.exists_above("A", 2)
+
+    def test_contains_and_keys(self, store):
+        assert "A" in store
+        assert "ghost" not in store
+        assert sorted(store.keys()) == ["A", "B"]
+
+
+class TestCopyOnUpdate:
+    def test_ensure_version_copies_from_base(self, store):
+        created = store.ensure_version("A", 1)
+        assert created
+        assert store.get_exact("A", 1) == 100
+
+    def test_ensure_version_idempotent(self, store):
+        store.ensure_version("A", 1)
+        store.apply_geq("A", 1, Increment(1))
+        assert store.ensure_version("A", 1) is False
+        assert store.get_exact("A", 1) == 101
+
+    def test_new_item_starts_from_none(self):
+        store = MVStore()
+        store.ensure_version("new", 2)
+        assert store.get_exact("new", 2) is None
+        store.apply_geq("new", 2, Increment(5))
+        assert store.get_exact("new", 2) == 5
+
+    def test_copy_skips_newer_versions(self):
+        """A version-1 creation must copy from version 0, not version 2."""
+        store = MVStore()
+        store.load("X", 10, version=0)
+        store.ensure_version("X", 2)
+        store.apply_geq("X", 2, Increment(100))
+        store.ensure_version("X", 1)
+        assert store.get_exact("X", 1) == 10
+
+    def test_duplicate_load_raises(self, store):
+        with pytest.raises(StorageError):
+            store.load("A", 1, version=0)
+
+
+class TestApplyGeq:
+    def test_single_version_write(self, store):
+        store.ensure_version("A", 1)
+        written = store.apply_geq("A", 1, Increment(5))
+        assert written == (1,)
+        assert store.get_exact("A", 1) == 105
+        assert store.get_exact("A", 0) == 100
+        assert store.dual_writes == 0
+
+    def test_dual_write_updates_both_versions(self, store):
+        """Straggler at version 1 on a node already holding version 2."""
+        store.ensure_version("A", 2)
+        store.ensure_version("A", 1)
+        written = store.apply_geq("A", 1, Increment(5))
+        assert written == (1, 2)
+        assert store.get_exact("A", 1) == 105
+        assert store.get_exact("A", 2) == 105
+        assert store.get_exact("A", 0) == 100
+        assert store.dual_writes == 1
+
+    def test_apply_geq_requires_exact_version(self, store):
+        with pytest.raises(MissingVersionError):
+            store.apply_geq("A", 1, Increment(5))
+
+    def test_apply_exact_touches_one_version(self, store):
+        store.ensure_version("A", 1)
+        store.ensure_version("A", 2)
+        store.apply_exact("A", 1, Increment(5))
+        assert store.get_exact("A", 1) == 105
+        assert store.get_exact("A", 2) == 100
+
+    def test_dual_write_with_record_operation(self, store):
+        """Dual writes apply to multiset observations too (the recording
+        workload's log entries), not just numeric summaries."""
+        from repro.storage import Record
+
+        store.load("log", (), version=0)
+        store.ensure_version("log", 2)
+        store.apply_geq("log", 2, Record("late-era"))
+        store.ensure_version("log", 1)
+        written = store.apply_geq("log", 1, Record("straggler"))
+        assert written == (1, 2)
+        assert store.get_exact("log", 1) == ("straggler",)
+        assert sorted(store.get_exact("log", 2)) == ["late-era", "straggler"]
+
+
+class TestGarbageCollection:
+    def test_collect_drops_old_versions(self, store):
+        store.ensure_version("A", 1)
+        store.apply_geq("A", 1, Increment(1))
+        dropped = store.collect(1)
+        assert dropped >= 1
+        assert store.versions("A") == [1]
+        assert store.get_exact("A", 1) == 101
+
+    def test_collect_renames_when_new_read_version_missing(self, store):
+        """Item B was never written in version 1: its version 0 copy is
+        renamed to version 1 (Phase 4 rule)."""
+        store.collect(1)
+        assert store.versions("B") == [1]
+        assert store.get_exact("B", 1) == 200
+
+    def test_collect_keeps_newer_versions(self, store):
+        store.ensure_version("A", 1)
+        store.ensure_version("A", 2)
+        store.collect(1)
+        assert store.versions("A") == [1, 2]
+
+    def test_collect_noop_when_nothing_older(self, store):
+        assert store.collect(0) == 0
+
+
+class TestStatistics:
+    def test_max_live_versions_high_water_mark(self, store):
+        assert store.max_live_versions == 1
+        store.ensure_version("A", 1)
+        store.ensure_version("A", 2)
+        assert store.max_live_versions == 3
+        store.collect(2)
+        # High-water mark is sticky even after GC.
+        assert store.max_live_versions == 3
+
+    def test_live_version_histogram(self, store):
+        store.ensure_version("A", 1)
+        assert store.live_version_histogram() == {1: 1, 2: 1}
+
+    def test_snapshot_is_detached(self, store):
+        snap = store.snapshot()
+        store.ensure_version("A", 1)
+        store.apply_geq("A", 1, Increment(1))
+        assert snap == {"A": {0: 100}, "B": {0: 200}}
+
+
+class TestVersionLifecycleProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3),
+                      st.integers(min_value=-10, max_value=10)),
+            max_size=30,
+        )
+    )
+    def test_three_version_bound_under_protocol_usage(self, writes):
+        """If writers only ever use versions {v, v+1, v+2} between GCs (as
+        the 3V protocol guarantees), at most three versions are ever live."""
+        store = MVStore()
+        store.load("K", 0, version=0)
+        base = 0
+        for version_offset, delta in writes:
+            if version_offset == 3:
+                base += 1
+                store.collect(base)
+            else:
+                v = base + version_offset
+                store.ensure_version("K", v)
+                store.apply_geq("K", v, Increment(delta))
+            assert len(store.versions("K")) <= 3
+        assert store.max_live_versions <= 3
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=20))
+    def test_older_version_isolated_from_newer_writes(self, deltas):
+        """Writes at version 1 never leak into the version-0 copy."""
+        store = MVStore()
+        store.load("K", 42, version=0)
+        store.ensure_version("K", 1)
+        for delta in deltas:
+            store.apply_geq("K", 1, Increment(delta))
+        assert store.get_exact("K", 0) == 42
+        assert store.get_exact("K", 1) == 42 + sum(deltas)

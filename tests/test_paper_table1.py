@@ -1,0 +1,160 @@
+"""Replay of the paper's Table 1 execution and Figure 2 snapshots.
+
+These tests pin the reproduction to the paper's own worked example: the
+scripted three-site scenario must produce exactly the version placements,
+dual writes, counter values, and final state the paper describes.
+"""
+
+import pytest
+
+from repro.workloads.paper_example import (
+    DELTAS,
+    INITIAL,
+    expected_final_state,
+    run_example,
+    transaction_i,
+)
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_example(
+        snapshot_times=[("start", 0.5), ("mid-advancement", 12.0)]
+    )
+
+
+class TestKeyOrderings:
+    """The three version-routing cases of Section 2.3."""
+
+    def test_j_executes_against_version_2(self, run):
+        assert run.system.history.txn("j").version == 2
+
+    def test_i_executes_against_version_1(self, run):
+        assert run.system.history.txn("i").version == 1
+
+    def test_jp_write_carried_version_2_to_p(self, run):
+        jp_writes = [
+            e for e in run.system.history.write_events
+            if e.subtxn == "jp" and e.key == "A"
+        ]
+        assert len(jp_writes) == 1
+        assert jp_writes[0].version == 2
+        assert jp_writes[0].node == "p"
+        assert jp_writes[0].versions_written == 1
+
+    def test_p_inferred_advancement_from_jp(self, run):
+        """jp arrived before the coordinator's notice, so p's write of A(2)
+        precedes the moment the notice reached p (send time 9 + 6)."""
+        jp_write = next(
+            e for e in run.system.history.write_events if e.subtxn == "jp"
+        )
+        notice_arrival_at_p = 9.0 + 6.0
+        assert jp_write.time < notice_arrival_at_p
+
+    def test_iq_dual_writes_d(self, run):
+        """Straggler iq (version 1) finds D(2) at q: updates versions 1 and 2."""
+        iq_d = next(
+            e for e in run.system.history.write_events
+            if e.subtxn == "iq" and e.key == "D"
+        )
+        assert iq_d.version == 1
+        assert iq_d.versions_written == 2
+
+    def test_iq_single_writes_e(self, run):
+        """E has no version-2 copy, so iq pays no dual-write overhead."""
+        iq_e = next(
+            e for e in run.system.history.write_events
+            if e.subtxn == "iq" and e.key == "E"
+        )
+        assert iq_e.versions_written == 1
+
+    def test_exactly_one_dual_write_in_whole_run(self, run):
+        assert sum(n.store.dual_writes for n in run.system.nodes.values()) == 1
+
+    def test_reads_use_version_0(self, run):
+        x = run.system.history.txn("x")
+        y = run.system.history.txn("y")
+        assert x.version == 0 and x.reads == [("A", INITIAL["A"])]
+        assert y.version == 0 and y.reads == [("D", INITIAL["D"])]
+
+
+class TestFinalState:
+    def test_versions_match_figure_2_final_panel(self, run):
+        expected = expected_final_state()
+        for key, chains in expected.items():
+            node = next(
+                n for n in run.system.nodes.values() if key in n.store
+            )
+            assert node.store.versions(key) == sorted(chains), key
+            for version, value in chains.items():
+                assert node.store.get_exact(key, version) == value, (
+                    key, version,
+                )
+
+    def test_advancement_completed(self, run):
+        assert run.system.read_version == 1
+        assert run.system.update_version == 2
+        for node in run.system.nodes.values():
+            assert node.vr == 1
+            assert node.vu == 2
+
+    def test_counters_converged_and_gcd(self, run):
+        """After Phase 4, only counters for versions >= vr remain, and
+        version-1 requests match completions pairwise."""
+        for node in run.system.nodes.values():
+            assert all(v >= 1 for v in node.counters.versions())
+        p = run.system.node("p")
+        q = run.system.node("q")
+        s = run.system.node("s")
+        assert p.counters.request_count(1, "q") == 1  # iq
+        assert q.counters.completion_count(1, "p") == 1
+        assert p.counters.request_count(1, "s") == 1  # is
+        assert s.counters.completion_count(1, "p") == 1
+        assert q.counters.request_count(1, "p") == 1  # iqp
+        assert p.counters.completion_count(1, "q") == 1
+
+    def test_no_user_transaction_waited_on_remote_activity(self, run):
+        for name in ("i", "j", "x", "y"):
+            assert run.system.history.txn(name).remote_wait == 0.0, name
+
+    def test_all_transactions_completed(self, run):
+        for name in ("i", "j", "x", "y"):
+            record = run.system.history.txn(name)
+            assert not record.aborted
+            assert record.global_complete_time is not None
+
+
+class TestSnapshots:
+    def test_start_snapshot_is_version_0_only(self, run):
+        snapshot = run.snapshots["start"]
+        for key, chain in snapshot.items():
+            assert list(chain) == [0], key
+            assert chain[0] == INITIAL[key]
+
+    def test_mid_advancement_snapshot_shows_three_version_items(self, run):
+        """At t=12: A has versions {0,1,2} at p (i wrote 1, jp wrote 2);
+        D has versions {0,2} at q (j wrote 2, iq not yet arrived)."""
+        snapshot = run.snapshots["mid-advancement"]
+        assert sorted(snapshot["A"]) == [0, 1, 2]
+        assert sorted(snapshot["D"]) == [0, 2]
+        assert sorted(snapshot["B"]) == [0]
+        assert sorted(snapshot["E"]) == [0]
+        assert sorted(snapshot["F"]) == [0, 1]
+        assert snapshot["A"][2] == (
+            INITIAL["A"] + DELTAS[("i", "A")] + DELTAS[("jp", "A")]
+        )
+        assert snapshot["D"][2] == INITIAL["D"] + DELTAS[("j", "D")]
+
+    def test_never_more_than_three_versions(self, run):
+        for node in run.system.nodes.values():
+            assert node.store.max_live_versions <= 3
+
+
+class TestSpecShape:
+    def test_transaction_i_ids_match_paper(self):
+        from repro.txn import TxnIndex
+
+        index = TxnIndex(transaction_i())
+        assert set(index.by_id) == {"i", "iq", "is", "iqp"}
+        assert index.parent["iqp"] == "iq"
+        assert index.node_of("iqp") == "p"

@@ -1,0 +1,189 @@
+"""Differential and unit tests for the fixed three-slot store.
+
+The paper notes a real implementation "could re-use old version numbers,
+employing only three distinct numbers".  :class:`SlotStore` does so; here
+we prove it is observationally equivalent to the unbounded
+:class:`MVStore` whenever usage respects the Section 4.4 window property
+— and that it *loudly* rejects usage that violates the bound.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NodeConfig, ThreeVSystem
+from repro.errors import MissingItemError, MissingVersionError, StorageError
+from repro.sim import RngRegistry
+from repro.storage import Increment, MVStore, SlotStore
+from repro.workloads import RecordingConfig, RecordingWorkload
+from repro.workloads.arrivals import drive, poisson_arrivals
+
+
+class TestUnitBehaviour:
+    def test_basic_read_write(self):
+        store = SlotStore()
+        store.load("x", 10)
+        store.ensure_version("x", 1)
+        store.apply_geq("x", 1, Increment(5))
+        assert store.get_exact("x", 0) == 10
+        assert store.get_exact("x", 1) == 15
+        assert store.read_max_leq("x", 7) == 15
+        assert store.versions("x") == [0, 1]
+
+    def test_missing_reads(self):
+        store = SlotStore()
+        with pytest.raises(MissingItemError):
+            store.read_max_leq("ghost", 2)
+        assert store.read_max_leq("ghost", 2, default=None) is None
+        store.load("x", 1, version=5)
+        with pytest.raises(MissingVersionError):
+            store.get_exact("x", 4)
+
+    def test_duplicate_load_rejected(self):
+        store = SlotStore()
+        store.load("x", 1)
+        with pytest.raises(StorageError):
+            store.load("x", 2, version=0)
+
+    def test_fourth_concurrent_version_rejected(self):
+        """Versions 0,1,2 occupy all slots; version 3 maps onto version
+        0's slot and must be refused while 0 is live."""
+        store = SlotStore()
+        store.load("x", 10)
+        store.ensure_version("x", 1)
+        store.ensure_version("x", 2)
+        with pytest.raises(StorageError):
+            store.ensure_version("x", 3)
+
+    def test_slot_reuse_after_collect(self):
+        store = SlotStore()
+        store.load("x", 10)
+        for version in range(1, 9):
+            store.ensure_version("x", version)
+            store.apply_geq("x", version, Increment(1))
+            store.collect(version)  # keep the window tight
+        assert store.versions("x") == [8]
+        assert store.get_exact("x", 8) == 18
+
+    def test_collect_renames_latest_earlier(self):
+        store = SlotStore()
+        store.load("cold", 7)
+        store.collect(2)
+        assert store.versions("cold") == [2]
+        assert store.get_exact("cold", 2) == 7
+
+    def test_histogram_and_snapshot(self):
+        store = SlotStore()
+        store.load("x", 1)
+        store.ensure_version("x", 1)
+        store.load("y", 2)
+        assert store.live_version_histogram() == {1: 1, 2: 1}
+        assert store.snapshot() == {"x": {0: 1, 1: 1}, "y": {0: 2}}
+
+
+class TestDifferentialAgainstMVStore:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["ensure+write", "read", "collect", "load"]),
+                st.integers(min_value=0, max_value=2),  # key index
+                st.integers(min_value=0, max_value=2),  # version offset
+                st.integers(min_value=-5, max_value=5),  # delta
+            ),
+            max_size=40,
+        )
+    )
+    def test_same_observable_behaviour(self, script):
+        """Any protocol-shaped op sequence (versions within a sliding
+        3-wide window) produces identical observations on both stores."""
+        mv, slot = MVStore(), SlotStore()
+        base = 0
+        keys = ["a", "b", "c"]
+        loaded = set()
+        for action, key_index, offset, delta in script:
+            key = keys[key_index]
+            version = base + offset
+            if action == "load":
+                if key in loaded or key in mv:
+                    continue
+                loaded.add(key)
+                mv.load(key, 100, version=base)
+                slot.load(key, 100, version=base)
+            elif action == "ensure+write":
+                created_mv = mv.ensure_version(key, version)
+                created_slot = slot.ensure_version(key, version)
+                assert created_mv == created_slot
+                assert mv.apply_geq(key, version, Increment(delta)) == (
+                    slot.apply_geq(key, version, Increment(delta))
+                )
+            elif action == "read":
+                assert mv.read_max_leq(key, version, default=None) == (
+                    slot.read_max_leq(key, version, default=None)
+                )
+                assert mv.versions(key) == slot.versions(key)
+            elif action == "collect":
+                base += 1
+                mv.collect(base)
+                slot.collect(base)
+            assert mv.snapshot() == slot.snapshot()
+        assert mv.max_live_versions == slot.max_live_versions
+        assert mv.dual_writes == slot.dual_writes
+
+
+class TestEndToEndWithSlotStore:
+    def run_system(self, store_factory, seed=19):
+        node_ids = ["n0", "n1", "n2"]
+        system = ThreeVSystem(
+            node_ids, seed=seed,
+            node_config=NodeConfig(store_factory=store_factory),
+            poll_interval=0.5,
+        )
+        config = RecordingConfig(nodes=node_ids, entities=8, span=2,
+                                 amount_mode="bitmask")
+        workload = RecordingWorkload(config, RngRegistry(seed + 1))
+        workload.install(system)
+        arrivals = RngRegistry(seed + 2)
+        drive(system, poisson_arrivals(arrivals, "u", 5.0, 20.0),
+              workload.make_recording)
+        drive(system, poisson_arrivals(arrivals, "r", 3.0, 20.0),
+              workload.make_inquiry)
+        for at in (5.0, 12.0):
+            system.sim.schedule(at, self._try_advance, system)
+        system.run(until=20.0)
+        system.run_until_quiet()
+        return system, workload
+
+    @staticmethod
+    def _try_advance(system):
+        from repro.errors import AdvancementInProgress
+
+        try:
+            system.advance_versions()
+        except AdvancementInProgress:
+            pass
+
+    def test_whole_protocol_identical_on_both_stores(self):
+        mv_system, mv_workload = self.run_system(MVStore)
+        slot_system, _ = self.run_system(SlotStore)
+        mv_reads = {
+            name: record.reads
+            for name, record in mv_system.history.txns.items()
+        }
+        slot_reads = {
+            name: record.reads
+            for name, record in slot_system.history.txns.items()
+        }
+        assert mv_reads == slot_reads
+        for node_id in mv_system.nodes:
+            assert (
+                mv_system.node(node_id).store.snapshot()
+                == slot_system.node(node_id).store.snapshot()
+            )
+
+    def test_slot_store_passes_the_oracle(self):
+        from repro.analysis import audit
+
+        system, workload = self.run_system(SlotStore)
+        report = audit(system.history, workload, check_snapshots=True)
+        assert report.clean, report.violations[:3]

@@ -1,0 +1,101 @@
+"""Unit tests for replication statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import mean_ci, replicate, welch_p_value
+
+
+class TestMeanCI:
+    def test_simple_interval(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == 2.0
+        assert ci.low < 2.0 < ci.high
+        assert ci.n == 3
+
+    def test_single_value_degenerate(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == ci.low == ci.high == 5.0
+        assert ci.half_width == 0.0
+
+    def test_identical_values_zero_width(self):
+        ci = mean_ci([4.0, 4.0, 4.0, 4.0])
+        assert ci.half_width == pytest.approx(0.0)
+
+    def test_higher_confidence_wider(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = mean_ci(values, confidence=0.80)
+        wide = mean_ci(values, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_more_samples_narrower(self):
+        narrow = mean_ci([1.0, 2.0, 3.0] * 10)
+        wide = mean_ci([1.0, 2.0, 3.0])
+        assert narrow.half_width < wide.half_width
+
+    def test_str_format(self):
+        assert "±" in str(mean_ci([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0], confidence=1.5)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100),
+                    min_size=2, max_size=30))
+    def test_mean_always_inside_interval(self, values):
+        ci = mean_ci(values)
+        assert ci.low <= ci.mean <= ci.high
+
+
+class TestWelch:
+    def test_clearly_different_samples(self):
+        a = [1.0, 1.1, 0.9, 1.05, 0.95]
+        b = [5.0, 5.1, 4.9, 5.05, 4.95]
+        assert welch_p_value(a, b) < 0.001
+
+    def test_identical_samples(self):
+        a = [1.0, 2.0, 3.0]
+        assert welch_p_value(a, a) == pytest.approx(1.0)
+
+    def test_degenerate_equal(self):
+        assert welch_p_value([2.0, 2.0], [2.0, 2.0]) == 1.0
+
+    def test_degenerate_different(self):
+        assert welch_p_value([2.0, 2.0], [3.0, 3.0]) == 0.0
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValueError):
+            welch_p_value([1.0], [2.0, 3.0])
+
+
+class TestReplicate:
+    def test_runs_per_seed(self):
+        seen = []
+
+        def run(seed):
+            seen.append(seed)
+            return seed * 2.0
+
+        assert replicate(run, [1, 2, 3]) == [2.0, 4.0, 6.0]
+        assert seen == [1, 2, 3]
+
+    def test_with_experiments(self):
+        from repro.analysis import throughput
+        from repro.workloads import run_recording_experiment
+
+        def goodput(seed):
+            result = run_recording_experiment(
+                "3v", nodes=3, duration=10.0, update_rate=4.0,
+                inquiry_rate=1.0, audit_rate=0.0, entities=10, span=2,
+                seed=seed, detail=False,
+            )
+            return throughput(result.history, 10.0, kind="update")
+
+        values = replicate(goodput, [1, 2, 3])
+        ci = mean_ci(values)
+        assert 2.0 < ci.mean < 6.0

@@ -1,0 +1,284 @@
+"""Integration tests for the 3V protocol core (single scenarios)."""
+
+import pytest
+
+from repro.core import ThreeVSystem, check_all
+from repro.errors import ProtocolError
+from repro.storage import Assign, Increment
+from repro.txn import ReadOp, SubtxnSpec, TransactionSpec, TxnKind, WriteOp
+
+
+def two_node_system(**kwargs):
+    system = ThreeVSystem(["p", "q"], seed=3, **kwargs)
+    system.load("p", "x", 100)
+    system.load("q", "y", 200)
+    return system
+
+
+def visit_txn(name, dx=10, dy=20, abort_at_q=False):
+    return TransactionSpec(
+        name=name,
+        root=SubtxnSpec(
+            node="p",
+            ops=[WriteOp("x", Increment(dx))],
+            children=[
+                SubtxnSpec(
+                    node="q",
+                    ops=[WriteOp("y", Increment(dy))],
+                    abort_here=abort_at_q,
+                )
+            ],
+        ),
+    )
+
+
+def balance_query(name):
+    return TransactionSpec(
+        name=name,
+        root=SubtxnSpec(
+            node="p",
+            ops=[ReadOp("x")],
+            children=[SubtxnSpec(node="q", ops=[ReadOp("y")])],
+        ),
+    )
+
+
+class TestUpdateExecution:
+    def test_update_writes_version_1_reads_see_version_0(self):
+        system = two_node_system()
+        system.submit(visit_txn("t1"))
+        system.run_until_quiet()
+        # Updates landed in version 1 on both nodes.
+        assert system.node("p").store.get_exact("x", 1) == 110
+        assert system.node("q").store.get_exact("y", 1) == 220
+        # Version 0 untouched; a query would still see it.
+        assert system.value_at("p", "x") == 100
+        assert system.value_at("q", "y") == 200
+
+    def test_transaction_completes_globally(self):
+        system = two_node_system()
+        system.submit(visit_txn("t1"))
+        system.run_until_quiet()
+        record = system.history.txn("t1")
+        assert record.kind == TxnKind.UPDATE
+        assert record.version == 1
+        assert record.local_commit_time is not None
+        assert record.global_complete_time is not None
+        assert record.global_complete_time >= record.local_commit_time
+
+    def test_counters_match_after_completion(self):
+        system = two_node_system()
+        system.submit(visit_txn("t1"))
+        system.run_until_quiet()
+        p, q = system.node("p"), system.node("q")
+        assert p.counters.request_count(1, "p") == 1  # root arrival
+        assert p.counters.request_count(1, "q") == 1  # child dispatch
+        assert p.counters.completion_count(1, "p") == 1  # root completed
+        assert q.counters.completion_count(1, "p") == 1  # child completed
+
+    def test_update_reads_see_own_version(self):
+        """An update transaction reads version <= V(T), including data it
+        or concurrent updates of the same version wrote."""
+        system = two_node_system()
+        system.submit(
+            TransactionSpec(
+                name="w",
+                root=SubtxnSpec(node="p", ops=[WriteOp("x", Increment(5))]),
+            )
+        )
+        system.run_until_quiet()
+        system.submit(
+            TransactionSpec(
+                name="r-as-update",
+                root=SubtxnSpec(
+                    node="p",
+                    ops=[ReadOp("x"), WriteOp("x", Increment(0))],
+                ),
+            )
+        )
+        system.run_until_quiet()
+        record = system.history.txn("r-as-update")
+        assert record.reads == [("x", 105)]
+
+    def test_queries_never_wait(self):
+        system = two_node_system()
+        for i in range(5):
+            system.submit(visit_txn(f"u{i}"))
+            system.submit(balance_query(f"q{i}"))
+        system.run_until_quiet()
+        for i in range(5):
+            record = system.history.txn(f"q{i}")
+            assert record.remote_wait == 0.0
+
+    def test_updates_have_zero_remote_wait(self):
+        """Theorem 4.2: no subtransaction waits for non-local activity."""
+        system = two_node_system()
+        for i in range(10):
+            system.submit(visit_txn(f"u{i}"))
+        system.run_until_quiet()
+        for i in range(10):
+            assert system.history.txn(f"u{i}").remote_wait == 0.0
+
+
+class TestVersionAdvancement:
+    def test_advancement_exposes_new_data_to_reads(self):
+        system = two_node_system()
+        system.submit(visit_txn("t1"))
+        system.run_until_quiet()
+        system.advance_versions()
+        system.run_until_quiet()
+        assert system.read_version == 1
+        assert system.update_version == 2
+        assert system.value_at("p", "x") == 110
+        assert system.value_at("q", "y") == 220
+
+    def test_advancement_garbage_collects_old_versions(self):
+        system = two_node_system()
+        system.submit(visit_txn("t1"))
+        system.run_until_quiet()
+        system.advance_versions()
+        system.run_until_quiet()
+        assert system.node("p").store.versions("x") == [1]
+        assert system.node("q").store.versions("y") == [1]
+
+    def test_untouched_items_renamed_on_gc(self):
+        system = two_node_system()
+        system.load("p", "cold", 7)
+        system.submit(visit_txn("t1"))
+        system.run_until_quiet()
+        system.advance_versions()
+        system.run_until_quiet()
+        assert system.node("p").store.versions("cold") == [1]
+        assert system.value_at("p", "cold") == 7
+
+    def test_repeated_advancements(self):
+        system = two_node_system()
+        for round_number in range(4):
+            system.submit(visit_txn(f"t{round_number}"))
+            system.run_until_quiet()
+            system.advance_versions()
+            system.run_until_quiet()
+            check_all(system)
+        assert system.read_version == 4
+        assert system.update_version == 5
+        assert system.value_at("p", "x") == 100 + 4 * 10
+        assert system.value_at("q", "y") == 200 + 4 * 20
+
+    def test_advancement_with_no_traffic(self):
+        system = two_node_system()
+        system.advance_versions()
+        system.run_until_quiet()
+        assert system.read_version == 1
+        assert system.value_at("p", "x") == 100
+
+    def test_concurrent_advancement_rejected(self):
+        from repro.errors import AdvancementInProgress
+
+        system = two_node_system()
+        system.advance_versions()
+        with pytest.raises(AdvancementInProgress):
+            system.advance_versions()
+        system.run_until_quiet()
+        # After completion a new advancement is fine.
+        system.advance_versions()
+        system.run_until_quiet()
+        assert system.read_version == 2
+
+    def test_query_during_advancement_sees_consistent_version(self):
+        """Queries started before phase 3 keep using the old read version."""
+        system = two_node_system()
+        system.submit(visit_txn("t1"))
+        system.run_until_quiet()
+        system.advance_versions()
+        system.submit(balance_query("early-q"))  # arrives during phase 1/2
+        system.run_until_quiet()
+        record = system.history.txn("early-q")
+        assert record.version == 0
+        assert record.reads == [("x", 100), ("y", 200)]
+
+
+class TestCompensation:
+    def test_aborted_transaction_leaves_no_effect(self):
+        system = two_node_system()
+        system.submit(visit_txn("bad", abort_at_q=True))
+        system.run_until_quiet()
+        record = system.history.txn("bad")
+        assert record.aborted
+        assert record.compensated
+        # All effects rolled back on both nodes.
+        assert system.node("p").store.read_max_leq("x", 99) == 100
+        assert system.node("q").store.read_max_leq("y", 99) == 200
+
+    def test_counters_converge_through_compensation(self):
+        system = two_node_system()
+        system.submit(visit_txn("bad", abort_at_q=True))
+        system.run_until_quiet()
+        system.advance_versions()
+        system.run_until_quiet()  # phase 2 must terminate despite the abort
+        assert system.read_version == 1
+
+    def test_aborted_and_committed_mix(self):
+        system = two_node_system()
+        system.submit(visit_txn("good1"))
+        system.submit(visit_txn("bad", abort_at_q=True))
+        system.submit(visit_txn("good2"))
+        system.run_until_quiet()
+        system.advance_versions()
+        system.run_until_quiet()
+        assert system.value_at("p", "x") == 120  # two good visits only
+        assert system.value_at("q", "y") == 240
+
+    def test_deep_tree_compensation(self):
+        """Abort three levels down: compensation walks back up the tree."""
+        system = ThreeVSystem(["a", "b", "c"], seed=5)
+        system.load("a", "ka", 0)
+        system.load("b", "kb", 0)
+        system.load("c", "kc", 0)
+        spec = TransactionSpec(
+            name="deep",
+            root=SubtxnSpec(
+                node="a",
+                ops=[WriteOp("ka", Increment(1))],
+                children=[
+                    SubtxnSpec(
+                        node="b",
+                        ops=[WriteOp("kb", Increment(1))],
+                        children=[
+                            SubtxnSpec(
+                                node="c",
+                                ops=[WriteOp("kc", Increment(1))],
+                                abort_here=True,
+                            )
+                        ],
+                    )
+                ],
+            ),
+        )
+        system.submit(spec)
+        system.run_until_quiet()
+        assert system.node("a").store.get_exact("ka", 1) == 0
+        assert system.node("b").store.get_exact("kb", 1) == 0
+        assert system.node("c").store.get_exact("kc", 1) == 0
+
+
+class TestRejections:
+    def test_noncommuting_rejected_without_nc3v(self):
+        system = two_node_system()
+        spec = TransactionSpec(
+            name="nc",
+            root=SubtxnSpec(node="p", ops=[WriteOp("x", Assign(0))]),
+        )
+        with pytest.raises(ProtocolError):
+            system.submit(spec)
+
+    def test_unknown_node_rejected(self):
+        system = two_node_system()
+        spec = TransactionSpec(
+            name="t", root=SubtxnSpec(node="mars", ops=[ReadOp("x")])
+        )
+        with pytest.raises(ProtocolError):
+            system.submit(spec)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ProtocolError):
+            ThreeVSystem([])

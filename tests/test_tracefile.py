@@ -1,0 +1,84 @@
+"""Tests for trace export / reload."""
+
+import json
+
+from repro.analysis import export_history, load_txn_records
+from repro.workloads import run_recording_experiment
+
+
+def small_run():
+    return run_recording_experiment(
+        "3v", nodes=3, duration=8.0, update_rate=3.0, inquiry_rate=2.0,
+        audit_rate=0.0, entities=10, span=2, seed=2,
+    )
+
+
+class TestExport:
+    def test_every_line_is_valid_json_with_type(self, tmp_path):
+        result = small_run()
+        path = tmp_path / "trace.jsonl"
+        written = export_history(result.history, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == written > 0
+        types = set()
+        for line in lines:
+            data = json.loads(line)
+            types.add(data["type"])
+        assert "txn" in types
+        assert "read" in types
+        assert "write" in types
+
+    def test_ops_can_be_omitted(self, tmp_path):
+        result = small_run()
+        full = tmp_path / "full.jsonl"
+        slim = tmp_path / "slim.jsonl"
+        export_history(result.history, full, include_ops=True)
+        export_history(result.history, slim, include_ops=False)
+        assert slim.stat().st_size < full.stat().st_size
+        for line in slim.read_text().splitlines():
+            assert json.loads(line)["type"] in ("txn", "advancement")
+
+    def test_advancements_exported(self, tmp_path):
+        result = small_run()
+        result.system.advance_versions()
+        result.system.run_until_quiet()
+        path = tmp_path / "trace.jsonl"
+        export_history(result.history, path)
+        advancements = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line)["type"] == "advancement"
+        ]
+        assert advancements
+        assert advancements[0]["counter_polls"] >= 2
+
+
+class TestRoundTrip:
+    def test_txn_records_survive_reload(self, tmp_path):
+        result = small_run()
+        path = tmp_path / "trace.jsonl"
+        export_history(result.history, path)
+        reloaded = load_txn_records(path)
+        originals = result.history.txns
+        assert len(reloaded) == len(originals)
+        for record in reloaded:
+            original = originals[record.name]
+            assert record.kind == original.kind
+            assert record.version == original.version
+            assert record.submit_time == original.submit_time
+            assert record.local_commit_time == original.local_commit_time
+            assert record.waits == original.waits
+
+    def test_reloaded_records_work_with_metrics(self, tmp_path):
+        from repro.analysis import LatencySummary
+
+        result = small_run()
+        path = tmp_path / "trace.jsonl"
+        export_history(result.history, path)
+        reloaded = load_txn_records(path)
+        latencies = [
+            record.local_latency for record in reloaded
+            if record.local_latency is not None
+        ]
+        summary = LatencySummary.of(latencies)
+        assert summary.count > 0
