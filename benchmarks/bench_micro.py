@@ -8,6 +8,7 @@ in the kernel show up before they distort experiment runtimes.
 
 from repro.sim import Simulator
 from repro.storage import Increment, MVStore, SlotStore
+from repro.storage.counters import CounterTable
 from repro.workloads import run_recording_experiment
 
 
@@ -33,6 +34,18 @@ def hammer_store(store_class, writes: int = 20_000):
     return store.get_exact("k", 1)
 
 
+def hammer_counters(incs: int = 20_000) -> int:
+    """The 3V bookkeeping inner loop: every subtransaction bumps a request
+    counter at its sender and a completion counter at its executor."""
+    table = CounterTable("p")
+    table.ensure_version(1)
+    inc_request, inc_completion = table.inc_request, table.inc_completion
+    for _ in range(incs):
+        inc_request(1, "q")
+        inc_completion(1, "q")
+    return table.request_count(1, "q")
+
+
 def small_experiment():
     return run_recording_experiment(
         "3v", nodes=4, duration=20.0, update_rate=10.0, inquiry_rate=5.0,
@@ -51,6 +64,10 @@ def test_mvstore_write_throughput(benchmark):
 
 def test_slotstore_write_throughput(benchmark):
     assert benchmark(hammer_store, SlotStore) == 20_000
+
+
+def test_counter_increment_throughput(benchmark):
+    assert benchmark(hammer_counters) == 20_000
 
 
 def test_end_to_end_simulation_throughput(benchmark):

@@ -389,7 +389,8 @@ class BaselineSystem:
 
     def run_until_quiet(self, limit: float = float("inf")) -> None:
         while self.sim.pending_count:
-            if self.sim._heap[0][0] > limit:
+            next_time = self.sim.peek_time()
+            if next_time is not None and next_time > limit:
                 raise ProtocolError(
                     f"system not quiet by simulated time {limit!r}"
                 )

@@ -135,6 +135,11 @@ class ThreeVNode:
         self._mailbox = network.register(node_id)
         self._main = sim.process(self._run(), name=f"node-{node_id}")
 
+        # The service-time stream is drawn from on every subtransaction;
+        # binding it once avoids the registry lookup per draw (stream seeds
+        # are name-derived, so early binding does not perturb any draws).
+        self._service_rng = self.rngs.stream("node.service")
+
         # Hook the NC3V extension lazily (set by the system when needed).
         self.nc3v = None
 
@@ -246,7 +251,7 @@ class ThreeVNode:
         )
         try:
             spec = instance.spec
-            service = self.rngs.sample("node.service", self.config.op_service)
+            service = self.config.op_service.sample(self._service_rng)
             if spec.ops:
                 yield self.sim.timeout(service * len(spec.ops))
             tombstoned = self._apply_ops(instance, kind)
@@ -307,24 +312,35 @@ class ThreeVNode:
             # corresponding subtransaction if it has not finished."
             return True
         version = instance.version
+        # Event objects are built only when the history keeps them; with
+        # detail off (large benchmark runs) reads record just their
+        # (key, value) and writes record nothing, skipping one dataclass
+        # allocation per operation on the hottest loop in the system.
+        detail = self.history.detail
+        store = self.store
         for op in instance.spec.ops:
             if isinstance(op, ReadOp):
-                used = self.store.version_max_leq(op.key, version)
-                value = (
-                    self.store.get_exact(op.key, used) if used is not None else None
-                )
-                self.history.read(
-                    ReadEvent(
-                        time=self.sim.now,
-                        txn=instance.txn.name,
-                        subtxn=instance.sid,
-                        node=self.node_id,
-                        key=op.key,
-                        version_requested=version,
-                        version_used=used,
-                        value=value,
+                if detail:
+                    used = store.version_max_leq(op.key, version)
+                    value = (
+                        store.get_exact(op.key, used) if used is not None
+                        else None
                     )
-                )
+                    self.history.read(
+                        ReadEvent(
+                            time=self.sim.now,
+                            txn=instance.txn.name,
+                            subtxn=instance.sid,
+                            node=self.node_id,
+                            key=op.key,
+                            version_requested=version,
+                            version_used=used,
+                            value=value,
+                        )
+                    )
+                else:
+                    value = store.read_max_leq(op.key, version, default=None)
+                    self.history.note_read(instance.txn.name, op.key, value)
             elif isinstance(op, WriteOp):
                 if kind == TxnKind.READ:
                     raise ProtocolError(
@@ -333,25 +349,26 @@ class ThreeVNode:
                     )
                 # Step 4: atomically check/create x(V(T)), then update all
                 # versions >= V(T) (the dual-write rule for stragglers).
-                self.store.ensure_version(op.key, version)
+                store.ensure_version(op.key, version)
                 if self.config.dual_write:
-                    written = self.store.apply_geq(op.key, version, op.operation)
+                    written = store.apply_geq(op.key, version, op.operation)
                 else:
-                    self.store.apply_exact(op.key, version, op.operation)
+                    store.apply_exact(op.key, version, op.operation)
                     written = (version,)
-                self.history.wrote(
-                    WriteEvent(
-                        time=self.sim.now,
-                        txn=instance.txn.name,
-                        subtxn=instance.sid,
-                        node=self.node_id,
-                        key=op.key,
-                        version=version,
-                        versions_written=len(written),
-                        operation=op.operation,
-                        versions=written,
+                if detail:
+                    self.history.wrote(
+                        WriteEvent(
+                            time=self.sim.now,
+                            txn=instance.txn.name,
+                            subtxn=instance.sid,
+                            node=self.node_id,
+                            key=op.key,
+                            version=version,
+                            versions_written=len(written),
+                            operation=op.operation,
+                            versions=written,
+                        )
                     )
-                )
         self._executed.add(key)
         return False
 
@@ -368,6 +385,8 @@ class ThreeVNode:
             else:
                 self.store.apply_exact(op.key, version, inverse)
                 written = (version,)
+            if not self.history.detail:
+                continue
             self.history.wrote(
                 WriteEvent(
                     time=self.sim.now,
@@ -545,10 +564,16 @@ class ThreeVNode:
 
     def _on_counter_read(self, message: Message) -> None:
         version, which = message.payload
+        # Snapshot assembly: the zero-copy views locate the live row, and
+        # dict() materializes the point-in-time copy HERE, at the node's
+        # read time.  The reply payload must never alias the live row — the
+        # two-wave detector's soundness argument pins each wave's values to
+        # the moment the node processed the COUNTER_READ (see
+        # CounterTable.requests_view).
         if which == "R":
-            snapshot = self.counters.requests(version)
+            snapshot = dict(self.counters.requests_view(version))
         elif which == "C":
-            snapshot = self.counters.completions(version)
+            snapshot = dict(self.counters.completions_view(version))
         elif which == "ACTIVE":
             # Support for the naive ActivePollDetector ablation: how many
             # subtransactions of this version are *executing right now* —

@@ -196,7 +196,8 @@ class ThreeVSystem:
         with no in-flight transactions or advancement drains naturally.
         """
         while self.sim.pending_count:
-            if self.sim._heap[0][0] > limit:
+            next_time = self.sim.peek_time()
+            if next_time is not None and next_time > limit:
                 raise ProtocolError(
                     f"system not quiet by simulated time {limit!r}"
                 )

@@ -12,37 +12,43 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import sys
 import typing
+
+# Kind constants are interned: every message carries one, and the stats /
+# mailbox dispatch paths key dicts by kind on every send, so identity-equal
+# strings let those lookups hit CPython's pointer-compare fast path.
+_intern = sys.intern
 
 
 class MessageKind:
     """String constants naming every message type in the system."""
 
     # User-transaction traffic.
-    SUBTXN_REQUEST = "subtxn-request"
-    COMPLETION_NOTICE = "completion-notice"
-    COMPENSATION = "compensation"
+    SUBTXN_REQUEST = _intern("subtxn-request")
+    COMPLETION_NOTICE = _intern("completion-notice")
+    COMPENSATION = _intern("compensation")
     # 3V version-advancement control traffic (Section 4.3 phases).
-    START_ADVANCEMENT = "start-advancement"
-    START_ADVANCEMENT_ACK = "start-advancement-ack"
-    COUNTER_READ = "counter-read"
-    COUNTER_READ_REPLY = "counter-read-reply"
-    READ_ADVANCE = "read-advance"
-    READ_ADVANCE_ACK = "read-advance-ack"
-    GARBAGE_COLLECT = "garbage-collect"
-    GARBAGE_COLLECT_ACK = "garbage-collect-ack"
+    START_ADVANCEMENT = _intern("start-advancement")
+    START_ADVANCEMENT_ACK = _intern("start-advancement-ack")
+    COUNTER_READ = _intern("counter-read")
+    COUNTER_READ_REPLY = _intern("counter-read-reply")
+    READ_ADVANCE = _intern("read-advance")
+    READ_ADVANCE_ACK = _intern("read-advance-ack")
+    GARBAGE_COLLECT = _intern("garbage-collect")
+    GARBAGE_COLLECT_ACK = _intern("garbage-collect-ack")
     # Baseline control traffic (manual versioning / synchronous switches).
-    FREEZE = "freeze"
-    FREEZE_ACK = "freeze-ack"
-    UNFREEZE = "unfreeze"
-    ACTIVE_QUERY = "active-query"
-    ACTIVE_REPLY = "active-reply"
+    FREEZE = _intern("freeze")
+    FREEZE_ACK = _intern("freeze-ack")
+    UNFREEZE = _intern("unfreeze")
+    ACTIVE_QUERY = _intern("active-query")
+    ACTIVE_REPLY = _intern("active-reply")
     # NC3V / two-phase commit traffic (Section 5).
-    LOCK_RELEASE = "lock-release"
-    PREPARE = "prepare"
-    VOTE = "vote"
-    DECISION = "decision"
-    DECISION_ACK = "decision-ack"
+    LOCK_RELEASE = _intern("lock-release")
+    PREPARE = _intern("prepare")
+    VOTE = _intern("vote")
+    DECISION = _intern("decision")
+    DECISION_ACK = _intern("decision-ack")
 
     USER_KINDS = frozenset({SUBTXN_REQUEST, COMPLETION_NOTICE, COMPENSATION})
     CONTROL_KINDS = frozenset(
@@ -68,7 +74,7 @@ class MessageKind:
 _message_ids = itertools.count()
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Message:
     """An envelope delivered from one node to another.
 

@@ -23,28 +23,48 @@ from repro.sim.simulator import Simulator
 
 
 class NetworkStats:
-    """Aggregate traffic accounting, split by message kind."""
+    """Aggregate traffic accounting, split by message kind.
+
+    Internally one dict of ``kind -> [count, total_latency]`` cells, so the
+    per-send :meth:`record` call (made for every message in the system) is a
+    single lookup and two in-place adds.  The ``sent_by_kind`` /
+    ``total_latency_by_kind`` views are materialized on access.
+    """
+
+    __slots__ = ("_by_kind",)
 
     def __init__(self):
-        self.sent_by_kind: typing.Dict[str, int] = {}
-        self.total_latency_by_kind: typing.Dict[str, float] = {}
+        self._by_kind: typing.Dict[str, typing.List[float]] = {}
 
-    def record(self, message: Message, latency: float) -> None:
-        self.sent_by_kind[message.kind] = self.sent_by_kind.get(message.kind, 0) + 1
-        self.total_latency_by_kind[message.kind] = (
-            self.total_latency_by_kind.get(message.kind, 0.0) + latency
-        )
+    def record(self, kind: str, latency: float) -> None:
+        try:
+            cell = self._by_kind[kind]
+        except KeyError:
+            self._by_kind[kind] = [1, latency]
+            return
+        cell[0] += 1
+        cell[1] += latency
+
+    @property
+    def sent_by_kind(self) -> typing.Dict[str, int]:
+        """``{kind: number of messages sent}`` (materialized copy)."""
+        return {kind: cell[0] for kind, cell in self._by_kind.items()}
+
+    @property
+    def total_latency_by_kind(self) -> typing.Dict[str, float]:
+        """``{kind: summed delivery latency}`` (materialized copy)."""
+        return {kind: cell[1] for kind, cell in self._by_kind.items()}
 
     @property
     def total_sent(self) -> int:
-        return sum(self.sent_by_kind.values())
+        return sum(cell[0] for cell in self._by_kind.values())
 
     @property
     def user_messages(self) -> int:
         """Messages carrying user-transaction work."""
         return sum(
-            count
-            for kind, count in self.sent_by_kind.items()
+            cell[0]
+            for kind, cell in self._by_kind.items()
             if kind in MessageKind.USER_KINDS
         )
 
@@ -52,8 +72,8 @@ class NetworkStats:
     def control_messages(self) -> int:
         """Version-advancement control messages."""
         return sum(
-            count
-            for kind, count in self.sent_by_kind.items()
+            cell[0]
+            for kind, cell in self._by_kind.items()
             if kind in MessageKind.CONTROL_KINDS
         )
 
@@ -61,8 +81,8 @@ class NetworkStats:
     def commit_messages(self) -> int:
         """Locking / two-phase-commit messages (NC3V and 2PC baseline)."""
         return sum(
-            count
-            for kind, count in self.sent_by_kind.items()
+            cell[0]
+            for kind, cell in self._by_kind.items()
             if kind in MessageKind.COMMIT_KINDS
         )
 
@@ -129,18 +149,20 @@ class Network:
         """
         if dst not in self._mailboxes:
             raise SimulationError(f"send to unknown endpoint: {dst!r}")
+        sim = self.sim
+        now = sim.now
         message = Message(src=src, dst=dst, kind=kind, payload=payload,
-                          sent_at=self.sim.now)
+                          sent_at=now)
         delay = self.latency.delay(src, dst, self.rngs)
         if delay < 0:
             raise SimulationError(f"latency model returned negative delay: {delay}")
-        deliver_at = self.sim.now + delay
         if self.fifo_links:
             link = (src, dst)
-            deliver_at = max(deliver_at, self._last_delivery.get(link, 0.0))
+            deliver_at = max(now + delay, self._last_delivery.get(link, 0.0))
             self._last_delivery[link] = deliver_at
-        self.stats.record(message, deliver_at - self.sim.now)
-        self.sim.schedule(deliver_at - self.sim.now, self._deliver, message)
+            delay = deliver_at - now
+        self.stats.record(kind, delay)
+        sim.schedule(delay, self._deliver, message)
         return message
 
     def _deliver(self, message: Message) -> None:

@@ -18,6 +18,7 @@ from repro.sim.distributions import (
 )
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
+from repro.sim.reference import ReferenceSimulator
 from repro.sim.resources import Resource, Store
 from repro.sim.simulator import Simulator
 
@@ -30,6 +31,7 @@ __all__ = [
     "Exponential",
     "LogNormal",
     "Process",
+    "ReferenceSimulator",
     "Resource",
     "RngRegistry",
     "Simulator",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import typing
 
 from repro.errors import ProcessKilled, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import Simulator
@@ -27,6 +27,8 @@ class Process(Event):
         name: Optional label used in error messages and tracing.
     """
 
+    __slots__ = ("name", "_generator", "_waiting_on", "_killed")
+
     def __init__(self, sim: "Simulator", generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -38,7 +40,7 @@ class Process(Event):
         self._waiting_on: typing.Optional[Event] = None
         self._killed = False
         # Kick off at the current simulation time.
-        sim.schedule(0.0, self._resume, None, None)
+        sim.schedule_now(self._resume, None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -55,20 +57,20 @@ class Process(Event):
         if self.triggered or self._killed:
             return
         self._killed = True
-        self.sim.schedule(0.0, self._resume, None, ProcessKilled(self.name))
+        self.sim.schedule_now(self._resume, None, ProcessKilled(self.name))
 
     def _on_event(self, event: Event) -> None:
         if event is not self._waiting_on:
             return  # Stale callback from an event we gave up on (kill()).
         self._waiting_on = None
-        if event.ok:
-            self._resume(event.value, None)
+        if event._exception is None:
+            self._resume(event._value, None)
         else:
             self._resume(None, event._exception)
 
     def _resume(self, value, exception: typing.Optional[BaseException]) -> None:
-        if self.triggered:
-            return
+        if self._value is not _PENDING or self._exception is not None:
+            return  # Already finished (e.g. killed while a resume was queued).
         try:
             if exception is not None:
                 target = self._generator.throw(exception)

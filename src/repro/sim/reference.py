@@ -1,0 +1,117 @@
+"""Reference pure-heap scheduler — the correctness oracle for the kernel.
+
+:class:`ReferenceSimulator` is the original (seed) implementation of
+:class:`repro.sim.simulator.Simulator`: *every* callback, zero-delay or not,
+goes through a single binary heap ordered by ``(time, sequence)``.  It is
+kept verbatim for two jobs:
+
+* **Differential testing** — ``tests/test_scheduler_equivalence.py`` runs
+  randomized schedules through both schedulers and asserts identical
+  callback orderings and final clocks, which is what licenses the optimized
+  simulator's zero-delay FIFO fast path.
+* **Benchmarking** — ``benchmarks/bench_hotpath.py`` runs the end-to-end 3V
+  workload on both kernels to report the fast path's speedup
+  (``kernel_speedup_vs_reference`` in ``BENCH_hotpath.json``).
+
+It is intentionally *not* optimized.  It shares the :class:`Event` /
+:class:`Process` machinery with the real simulator, so it implements the
+same scheduling interface (including :meth:`schedule_now`, which here is
+just ``schedule(0.0, ...)`` — the seed behaviour).
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class ReferenceSimulator:
+    """The seed pure-heap scheduler (see module docstring)."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives (same interface as Simulator)
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, callback, *args) -> None:
+        """Run ``callback(*args)`` after ``delay`` units of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback, args))
+
+    def schedule_now(self, callback, *args) -> None:
+        """Seed semantics: a zero-delay heap entry at ``(now, sequence)``."""
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now, self._sequence, callback, args))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution (verbatim seed implementation)
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback; ``False`` when drained."""
+        if not self._heap:
+            return False
+        time, _seq, callback, args = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("event heap time went backwards")
+        self.now = time
+        callback(*args)
+        return True
+
+    def run(self, until: typing.Optional[float] = None) -> None:
+        """Run until the heap drains or the clock reaches ``until``."""
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self.now:
+            raise SimulationError(f"run until {until!r} is in the past ({self.now!r})")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self.now = until
+
+    def run_until_triggered(self, event: Event, limit: float = float("inf")) -> None:
+        """Run until ``event`` triggers (seed error semantics)."""
+        while not event.triggered:
+            if not self._heap:
+                raise SimulationError("simulation drained before event triggered")
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"event not triggered by time limit {limit!r}")
+            self.step()
+
+    def peek_time(self) -> typing.Optional[float]:
+        """Simulated time of the next scheduled callback (``None`` if idle)."""
+        return self._heap[0][0] if self._heap else None
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._heap)
+
+    @property
+    def scheduled_count(self) -> int:
+        return self._sequence

@@ -33,6 +33,9 @@ class Resource:
         material for the paper's "never delayed" claims.
     """
 
+    __slots__ = ("sim", "capacity", "_in_use", "_queue", "total_waits",
+                 "total_wait_time")
+
     def __init__(self, sim: "Simulator", capacity: int = 1):
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
@@ -83,6 +86,8 @@ class Resource:
 
 class Store:
     """An unbounded FIFO queue with blocking ``get`` — a process mailbox."""
+
+    __slots__ = ("sim", "_items", "_getters", "total_puts")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim

@@ -23,9 +23,17 @@ import typing
 
 from repro.errors import CounterError
 
+#: Shared empty row returned by the zero-copy views for absent versions.
+#: Callers treat views as read-only, so one immutable-by-convention dict
+#: serves every miss without allocating.
+_EMPTY: typing.Dict[str, int] = {}
+
 
 class CounterTable:
     """Request/completion counters held by a single node."""
+
+    __slots__ = ("node_id", "_requests", "_completions", "_gc_floor",
+                 "lost_increments")
 
     def __init__(self, node_id: str):
         self.node_id = node_id
@@ -49,8 +57,10 @@ class CounterTable:
         """
         if self._gc_floor is not None and version < self._gc_floor:
             return
-        self._requests.setdefault(version, {})
-        self._completions.setdefault(version, {})
+        if version not in self._requests:
+            self._requests[version] = {}
+        if version not in self._completions:
+            self._completions[version] = {}
 
     def versions(self) -> typing.List[int]:
         """Sorted list of versions with allocated counters."""
@@ -69,34 +79,45 @@ class CounterTable:
     # ------------------------------------------------------------------
     # Increments (all atomic: the simulation is single-threaded, matching
     # the paper's assumption that counter accesses are atomic and occur
-    # outside local concurrency control)
+    # outside local concurrency control).  These are the hottest storage
+    # calls in the simulation — every subtransaction hits each table —
+    # so the common "row and cell already exist" case is a single dict
+    # lookup per table with no method-call or default-object overhead.
     # ------------------------------------------------------------------
 
     def inc_request(self, version: int, dst: str) -> None:
         """Count a subtransaction sent from this node to ``dst``."""
-        row = self._requests.get(version)
-        if row is None:
-            if self._gc_floor is not None and version < self._gc_floor:
-                self.lost_increments += 1
-                return
-            raise CounterError(
-                f"node {self.node_id}: request counter for unallocated "
-                f"version {version}"
-            )
-        row[dst] = row.get(dst, 0) + 1
+        try:
+            row = self._requests[version]
+        except KeyError:
+            self._miss("request", version)
+            return
+        try:
+            row[dst] += 1
+        except KeyError:
+            row[dst] = 1
 
     def inc_completion(self, version: int, src: str) -> None:
         """Count a subtransaction invoked from ``src`` completing here."""
-        row = self._completions.get(version)
-        if row is None:
-            if self._gc_floor is not None and version < self._gc_floor:
-                self.lost_increments += 1
-                return
-            raise CounterError(
-                f"node {self.node_id}: completion counter for unallocated "
-                f"version {version}"
-            )
-        row[src] = row.get(src, 0) + 1
+        try:
+            row = self._completions[version]
+        except KeyError:
+            self._miss("completion", version)
+            return
+        try:
+            row[src] += 1
+        except KeyError:
+            row[src] = 1
+
+    def _miss(self, kind: str, version: int) -> None:
+        """Cold path for an increment against an unallocated version."""
+        if self._gc_floor is not None and version < self._gc_floor:
+            self.lost_increments += 1
+            return
+        raise CounterError(
+            f"node {self.node_id}: {kind} counter for unallocated "
+            f"version {version}"
+        )
 
     # ------------------------------------------------------------------
     # Reads
@@ -104,17 +125,36 @@ class CounterTable:
 
     def requests(self, version: int) -> typing.Dict[str, int]:
         """Snapshot of ``R[version][dst]`` for this node (copies)."""
-        return dict(self._requests.get(version, {}))
+        return dict(self._requests.get(version, _EMPTY))
 
     def completions(self, version: int) -> typing.Dict[str, int]:
         """Snapshot of ``C[version][src]`` for this node (copies)."""
-        return dict(self._completions.get(version, {}))
+        return dict(self._completions.get(version, _EMPTY))
+
+    def requests_view(self, version: int) -> typing.Mapping[str, int]:
+        """Zero-copy *live* view of ``R[version][dst]``.
+
+        This is the node's own row object; it mutates as further requests
+        are counted.  Use it only for point-in-time reads that are consumed
+        immediately (e.g. assembling a snapshot inside ``COUNTER_READ``
+        handling).  Anything that outlives the current callback — in
+        particular a message payload for the two-wave detector — MUST be a
+        :meth:`requests` copy, or a straggler's later increment would leak
+        into an already-taken wave and break the detector's soundness
+        argument.
+        """
+        return self._requests.get(version, _EMPTY)
+
+    def completions_view(self, version: int) -> typing.Mapping[str, int]:
+        """Zero-copy *live* view of ``C[version][src]`` (see
+        :meth:`requests_view` for the aliasing caveat)."""
+        return self._completions.get(version, _EMPTY)
 
     def request_count(self, version: int, dst: str) -> int:
-        return self._requests.get(version, {}).get(dst, 0)
+        return self._requests.get(version, _EMPTY).get(dst, 0)
 
     def completion_count(self, version: int, src: str) -> int:
-        return self._completions.get(version, {}).get(src, 0)
+        return self._completions.get(version, _EMPTY).get(src, 0)
 
 
 def quiescent(
@@ -137,16 +177,15 @@ def quiescent(
         before request snapshots (the two-wave rule); see
         ``repro.core.advancement.QuiescenceDetector``.
     """
-    pairs = set()
+    # One pass per direction instead of materializing the pair set: first
+    # check every request cell against its completion mirror, then sweep the
+    # completion side for cells with no (or a smaller) request mirror.
     for p, row in request_snapshots.items():
-        for q in row:
-            pairs.add((p, q))
+        for q, sent in row.items():
+            if sent != completion_snapshots.get(q, _EMPTY).get(p, 0):
+                return False
     for q, row in completion_snapshots.items():
-        for p in row:
-            pairs.add((p, q))
-    for p, q in pairs:
-        sent = request_snapshots.get(p, {}).get(q, 0)
-        done = completion_snapshots.get(q, {}).get(p, 0)
-        if sent != done:
-            return False
+        for p, done in row.items():
+            if done != request_snapshots.get(p, _EMPTY).get(q, 0):
+                return False
     return True

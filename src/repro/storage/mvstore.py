@@ -17,6 +17,14 @@ Implements the versioned record behaviour of Section 4:
 The store also tracks the high-water mark of simultaneously live versions
 per item, which lets tests and benchmarks verify the paper's "at most three
 versions" bound (Section 4.4, properties 1a/2a).
+
+Performance note: alongside each version chain the store maintains the
+chain's **maximum live version**.  The paper bounds chains at three live
+versions, and between advancements almost every chain has exactly one — so
+the common reads (``read_max_leq`` at or above the chain head),
+existence checks (``exists_above``), and copy-on-update
+(``ensure_version`` of a fresh version above the head) all resolve from the
+cached maximum in O(1) without scanning the chain.
 """
 
 from __future__ import annotations
@@ -32,8 +40,13 @@ _RAISE = object()
 class MVStore:
     """A per-node store mapping ``key -> {version -> value}``."""
 
+    __slots__ = ("_chains", "_maxes", "max_live_versions", "dual_writes",
+                 "total_writes")
+
     def __init__(self):
         self._chains: typing.Dict[typing.Hashable, typing.Dict[int, typing.Any]] = {}
+        #: Per-key maximum live version (kept in lockstep with ``_chains``).
+        self._maxes: typing.Dict[typing.Hashable, int] = {}
         #: Highest number of simultaneously live versions ever seen (any key).
         self.max_live_versions = 0
         #: Number of ``apply_geq`` calls that touched more than one version.
@@ -64,10 +77,11 @@ class MVStore:
     def exists_above(self, key, version: int) -> bool:
         """Does any version of ``key`` strictly greater than ``version`` exist?
 
-        This is the NC3V abort check (Section 5, step 4).
+        This is the NC3V abort check (Section 5, step 4).  O(1): some
+        version exceeds ``version`` iff the chain maximum does.
         """
-        chain = self._chains.get(key)
-        return chain is not None and any(v > version for v in chain)
+        maximum = self._maxes.get(key)
+        return maximum is not None and maximum > version
 
     def get_exact(self, key, version: int):
         """Value of ``key`` at exactly ``version``."""
@@ -85,20 +99,34 @@ class MVStore:
             default: Returned when no qualifying version exists; raises
                 :class:`MissingItemError` when omitted.
         """
-        found = self.version_max_leq(key, version)
-        if found is None:
-            if default is _RAISE:
-                raise MissingItemError((key, version))
-            return default
-        return self._chains[key][found]
+        chain = self._chains.get(key)
+        if chain:
+            maximum = self._maxes[key]
+            if maximum <= version:
+                return chain[maximum]
+            best = -1
+            for v in chain:
+                if best < v <= version:
+                    best = v
+            if best >= 0:
+                return chain[best]
+        if default is _RAISE:
+            raise MissingItemError((key, version))
+        return default
 
     def version_max_leq(self, key, version: int) -> typing.Optional[int]:
         """The maximum existing version of ``key`` not above ``version``."""
         chain = self._chains.get(key)
         if not chain:
             return None
-        candidates = [v for v in chain if v <= version]
-        return max(candidates) if candidates else None
+        maximum = self._maxes[key]
+        if maximum <= version:
+            return maximum
+        best = None
+        for v in chain:
+            if v <= version and (best is None or v > best):
+                best = v
+        return best
 
     # ------------------------------------------------------------------
     # Mutation
@@ -106,10 +134,18 @@ class MVStore:
 
     def load(self, key, value, version: int = 0) -> None:
         """Install an initial value (bulk load before the simulation starts)."""
-        chain = self._chains.setdefault(key, {})
+        chain = self._chains.get(key)
+        if chain is None:
+            self._chains[key] = {version: value}
+            self._maxes[key] = version
+            if self.max_live_versions < 1:
+                self.max_live_versions = 1
+            return
         if version in chain:
             raise StorageError(f"duplicate load of {key!r} version {version}")
         chain[version] = value
+        if version > self._maxes[key]:
+            self._maxes[key] = version
         self._note_chain_size(chain)
 
     def ensure_version(self, key, version: int) -> bool:
@@ -122,11 +158,26 @@ class MVStore:
         Returns:
             ``True`` if the version was created, ``False`` if it existed.
         """
-        chain = self._chains.setdefault(key, {})
+        chain = self._chains.get(key)
+        if chain is None:
+            self._chains[key] = {version: None}
+            self._maxes[key] = version
+            if self.max_live_versions < 1:
+                self.max_live_versions = 1
+            return True
         if version in chain:
             return False
-        base = self.version_max_leq(key, version)
-        chain[version] = chain[base] if base is not None else None
+        maximum = self._maxes[key]
+        if maximum < version:
+            # Common case: extending the chain head copies from the head.
+            chain[version] = chain[maximum]
+            self._maxes[key] = version
+        else:
+            base = None
+            for v in chain:
+                if v <= version and (base is None or v > base):
+                    base = v
+            chain[version] = chain[base] if base is not None else None
         self._note_chain_size(chain)
         return True
 
@@ -144,6 +195,12 @@ class MVStore:
         chain = self._chains.get(key)
         if chain is None or version not in chain:
             raise MissingVersionError((key, version))
+        if self._maxes[key] == version:
+            # Fast path: the written version is the chain head, so it is the
+            # only version >= itself — no scan, no dual write.
+            chain[version] = operation.apply(chain[version])
+            self.total_writes += 1
+            return (version,)
         targets = sorted(v for v in chain if v >= version)
         for v in targets:
             chain[v] = operation.apply(chain[v])
@@ -175,7 +232,18 @@ class MVStore:
             Number of version copies physically dropped.
         """
         dropped = 0
+        maxes = self._maxes
         for key, chain in self._chains.items():
+            if maxes[key] < read_version:
+                # Whole chain is below the new read version: rename its
+                # head to the read version and drop everything else.
+                earlier = sorted(chain)
+                chain[read_version] = chain[earlier[-1]]
+                for v in earlier:
+                    del chain[v]
+                    dropped += 1
+                maxes[key] = read_version
+                continue
             earlier = sorted(v for v in chain if v < read_version)
             if not earlier:
                 continue

@@ -217,6 +217,18 @@ class History:
         if self.detail:
             self.read_events.append(event)
 
+    def note_read(self, txn: str, key, value) -> None:
+        """Record a read's ``(key, value)`` without a :class:`ReadEvent`.
+
+        The detail-off fast path: executors call this instead of building a
+        ReadEvent that :meth:`read` would immediately discard.  Serializable
+        analysis only needs the per-transaction read values, which this
+        keeps.
+        """
+        record = self.txns.get(txn)
+        if record is not None:
+            record.reads.append((key, value))
+
     def wrote(self, event: WriteEvent) -> None:
         if self.detail:
             self.write_events.append(event)

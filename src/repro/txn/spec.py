@@ -95,16 +95,20 @@ class TransactionSpec:
 
     # ------------------------------------------------------------------
     # Classification
+    #
+    # The classification of a transaction is consulted on every protocol
+    # decision (submit gate, version stamping, compensation), so it is
+    # computed once during :meth:`validate` — a single walk of the tree —
+    # and cached.  Specs are treated as immutable after construction (the
+    # workload builders finish mutating ``abort_here`` before wrapping the
+    # tree in a TransactionSpec); call :meth:`validate` again to refresh
+    # the cache if a tree is ever edited in place.
     # ------------------------------------------------------------------
 
     @property
     def is_read_only(self) -> bool:
         """True when no subtransaction performs a write."""
-        return all(
-            not isinstance(op, WriteOp)
-            for spec in self.root.walk()
-            for op in spec.ops
-        )
+        return self._is_read_only
 
     @property
     def is_well_behaved(self) -> bool:
@@ -113,22 +117,17 @@ class TransactionSpec:
         Read-only transactions are trivially well-behaved ("the read set R
         is well-behaved by definition") but are classified separately.
         """
-        return all(
-            op.operation.commutes
-            for spec in self.root.walk()
-            for op in spec.ops
-            if isinstance(op, WriteOp)
-        )
+        return self._is_well_behaved
 
     @property
     def wants_abort(self) -> bool:
         """True when some subtransaction is scripted to abort."""
-        return any(spec.abort_here for spec in self.root.walk())
+        return self._wants_abort
 
     @property
     def nodes(self) -> typing.Set[str]:
         """All database nodes the transaction touches."""
-        return {spec.node for spec in self.root.walk()}
+        return set(self._nodes)
 
     @property
     def keys_written(self) -> typing.Set[typing.Hashable]:
@@ -156,32 +155,56 @@ class TransactionSpec:
     # ------------------------------------------------------------------
 
     def validate(self) -> None:
-        """Reject malformed trees early, with a precise complaint."""
+        """Reject malformed trees early, with a precise complaint.
+
+        Also (re)computes the cached classification — one iterative walk
+        instead of one recursive generator sweep per classification query.
+        """
         if not self.name:
             raise InvalidTransactionSpec("transaction name must be non-empty")
+        read_only = True
+        well_behaved = True
+        wants_abort = False
+        nodes: typing.Set[str] = set()
         seen: typing.Set[int] = set()
-        for spec in self.root.walk():
+        seen_add = seen.add
+        stack = [self.root]
+        pop = stack.pop
+        while stack:
+            spec = pop()
             if id(spec) in seen:
                 raise InvalidTransactionSpec(
                     f"{self.name}: subtransaction tree contains a cycle or "
                     "shared node"
                 )
-            seen.add(id(spec))
+            seen_add(id(spec))
             if not spec.node:
                 raise InvalidTransactionSpec(
                     f"{self.name}: subtransaction with empty node id"
                 )
+            nodes.add(spec.node)
+            if spec.abort_here:
+                wants_abort = True
             for op in spec.ops:
-                if not isinstance(op, (ReadOp, WriteOp)):
+                if isinstance(op, WriteOp):
+                    read_only = False
+                    if not op.operation.commutes:
+                        well_behaved = False
+                elif not isinstance(op, ReadOp):
                     raise InvalidTransactionSpec(
                         f"{self.name}: unknown operation type "
                         f"{type(op).__name__}"
                     )
-        if self.is_read_only and self.wants_abort:
+            stack.extend(spec.children)
+        if read_only and wants_abort:
             raise InvalidTransactionSpec(
                 f"{self.name}: read-only transactions cannot abort "
                 "(they have nothing to compensate)"
             )
+        self._is_read_only = read_only
+        self._is_well_behaved = well_behaved
+        self._wants_abort = wants_abort
+        self._nodes = nodes
 
 
 def subtxn_id(parent_id: str, child: SubtxnSpec, index: int) -> str:

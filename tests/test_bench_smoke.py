@@ -1,0 +1,134 @@
+"""Smoke coverage for the hot-path benchmark harness.
+
+Keeps ``benchmarks/bench_hotpath.py`` and ``tools/bench.py`` inside the
+tier-1 safety net: the smoke suite must run inside the test budget, the
+e2e workload must be deterministic, the committed ``BENCH_hotpath.json``
+must stay well-formed (and keep showing the tracked speedup over the seed
+kernel), and the ``--check`` regression-gate logic must actually gate.
+
+``pytest -m benchsmoke`` selects just the suite-exercising subset.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import bench as bench_cli  # noqa: E402
+import bench_hotpath  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+
+@pytest.mark.benchsmoke
+class TestSmokeSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return bench_hotpath.run_suite("smoke")
+
+    def test_all_metrics_positive(self, suite):
+        assert suite["mode"] == "smoke"
+        assert suite["metrics"], "smoke suite produced no metrics"
+        for name, value in suite["metrics"].items():
+            assert value > 0, f"{name} was not a positive rate: {value}"
+
+    def test_expected_metric_set(self, suite):
+        expected = {
+            "kernel_callback_events_per_sec",
+            "kernel_callback_speedup_vs_reference",
+            "kernel_process_events_per_sec",
+            "kernel_process_speedup_vs_reference",
+            "e2e_3v_events_per_sec",
+            "e2e_3v_txns_per_sec",
+            "advancement_events_per_sec",
+            "counter_incs_per_sec",
+            "mvstore_ops_per_sec",
+            "quiescent_checks_per_sec",
+        }
+        assert set(suite["metrics"]) == expected
+
+    def test_e2e_workload_is_deterministic(self, suite):
+        digest = bench_hotpath.assert_deterministic("smoke")
+        for key, value in digest.items():
+            assert suite["determinism"][key] == value
+
+
+class TestCommittedBaseline:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        assert BASELINE_PATH.exists(), "BENCH_hotpath.json missing"
+        return json.loads(BASELINE_PATH.read_text())
+
+    def test_schema(self, baseline):
+        assert baseline["schema_version"] == 1
+        for key in ("metrics", "determinism", "smoke_metrics",
+                    "smoke_determinism", "seed_baseline", "speedup_vs_seed"):
+            assert key in baseline, f"baseline missing {key!r}"
+
+    def test_determinism_digest_matches_committed(self, baseline):
+        """The full-mode e2e digest is machine-independent; a fresh smoke
+        digest must match the committed smoke digest bit for bit."""
+        fresh = bench_hotpath.e2e_digest(
+            bench_hotpath.run_e2e(bench_hotpath.CONFIGS["smoke"]["e2e"])
+        )
+        committed = baseline["smoke_determinism"]
+        for key, value in fresh.items():
+            assert committed[key] == value
+
+    def test_tracked_speedup_over_seed_kernel(self, baseline):
+        """The tentpole acceptance bar: >=1.5x end-to-end events/sec over
+        the seed kernel, as recorded in the committed trajectory."""
+        assert baseline["speedup_vs_seed"]["e2e_3v_events_per_sec"] >= 1.5
+
+
+class TestCheckGate:
+    """--check logic, driven synthetically (no timing, never flaky)."""
+
+    BASELINE = {
+        "metrics": {"a_per_sec": 100.0, "b_per_sec": 1000.0},
+        "determinism": {"events": 42},
+        "smoke_metrics": {"a_per_sec": 10.0},
+        "smoke_determinism": {"events": 7},
+    }
+
+    @staticmethod
+    def fresh(metrics, determinism):
+        return {"metrics": metrics, "determinism": determinism}
+
+    def test_passes_within_tolerance(self):
+        fresh = self.fresh({"a_per_sec": 80.0, "b_per_sec": 1500.0},
+                           {"events": 42})
+        assert bench_cli.check(self.BASELINE, fresh, "full", 0.25,
+                               out=lambda *_: None)
+
+    def test_fails_on_slowdown_beyond_tolerance(self):
+        fresh = self.fresh({"a_per_sec": 70.0, "b_per_sec": 1000.0},
+                           {"events": 42})
+        assert not bench_cli.check(self.BASELINE, fresh, "full", 0.25,
+                                   out=lambda *_: None)
+
+    def test_fails_on_missing_metric(self):
+        fresh = self.fresh({"a_per_sec": 100.0}, {"events": 42})
+        assert not bench_cli.check(self.BASELINE, fresh, "full", 0.25,
+                                   out=lambda *_: None)
+
+    def test_fails_on_determinism_break(self):
+        fresh = self.fresh({"a_per_sec": 100.0, "b_per_sec": 1000.0},
+                           {"events": 43})
+        assert not bench_cli.check(self.BASELINE, fresh, "full", 0.25,
+                                   out=lambda *_: None)
+
+    def test_smoke_mode_uses_smoke_tables(self):
+        fresh = self.fresh({"a_per_sec": 9.0}, {"events": 7})
+        assert bench_cli.check(self.BASELINE, fresh, "smoke", 0.25,
+                               out=lambda *_: None)
+        fresh = self.fresh({"a_per_sec": 9.0}, {"events": 8})
+        assert not bench_cli.check(self.BASELINE, fresh, "smoke", 0.25,
+                                   out=lambda *_: None)
