@@ -8,26 +8,25 @@ and sheds load through wait-die aborts.
 
 Offered load scales with the cluster (2 updates/s and 1 inquiry/s per
 node), so a scalable system shows constant *per-node* goodput.
+
+The 60 runs (4 systems x 5 sizes x 3 seeds) are independent, so they go
+through the shared fleet helper: ``REPRO_BENCH_JOBS=4`` collects them on
+4 cores, and the result cache makes re-runs free.
 """
 
-from conftest import save_table
+from conftest import run_fleet, save_table
 
-from repro.analysis import (
-    Table,
-    latency_summary,
-    max_remote_wait,
-    mean_ci,
-    throughput,
-)
-from repro.workloads import run_recording_experiment
+from repro.analysis import Table, mean_ci
+from repro.exp import ExperimentSpec, run_spec
 
+SYSTEMS = ("3v", "nocoord", "manual", "2pc")
 NODE_COUNTS = (2, 4, 8, 16, 32)
 DURATION = 30.0
 SEEDS = (13, 14, 15)
 
 
-def run(protocol: str, nodes: int, seed: int):
-    return run_recording_experiment(
+def spec(protocol: str, nodes: int, seed: int) -> ExperimentSpec:
+    return ExperimentSpec(
         protocol,
         nodes=nodes,
         duration=DURATION,
@@ -43,7 +42,8 @@ def run(protocol: str, nodes: int, seed: int):
 
 
 def test_c1_scaling(benchmark):
-    benchmark.pedantic(lambda: run("3v", 4, 13), rounds=2, iterations=1)
+    benchmark.pedantic(lambda: run_spec(spec("3v", 4, 13)),
+                       rounds=2, iterations=1)
     table = Table(
         "C1: Scaling with cluster size "
         "(offered: 2 upd/s + 1 inq/s per node, 30s, 3 seeds)",
@@ -51,39 +51,31 @@ def test_c1_scaling(benchmark):
          "read p95 latency", "abort %", "max remote wait"],
         precision=3,
     )
+    combos = [(protocol, nodes)
+              for protocol in SYSTEMS for nodes in NODE_COUNTS]
+    summaries = run_fleet(
+        [spec(protocol, nodes, seed)
+         for protocol, nodes in combos for seed in SEEDS]
+    )
     goodput = {}
-    for protocol in ("3v", "nocoord", "manual", "2pc"):
-        for nodes in NODE_COUNTS:
-            per_seed = []
-            aborted = total = 0
-            update_p95 = read_p95 = remote = 0.0
-            for seed in SEEDS:
-                result = run(protocol, nodes, seed)
-                history = result.history
-                per_seed.append(
-                    throughput(history, DURATION, kind="update") / nodes
-                )
-                aborted += len(history.aborted_txns())
-                total += len(history.txns)
-                update_p95 = max(
-                    update_p95, latency_summary(history, kind="update").p95
-                )
-                read_p95 = max(
-                    read_p95,
-                    latency_summary(history, kind="read", which="global").p95,
-                )
-                remote = max(remote, max_remote_wait(history))
-            ci = mean_ci(per_seed)
-            goodput[(protocol, nodes)] = ci.mean
-            table.add(
-                protocol,
-                nodes,
-                str(ci),
-                update_p95,
-                read_p95,
-                100.0 * aborted / total if total else 0.0,
-                remote,
-            )
+    offset = 0
+    for protocol, nodes in combos:
+        chunk = summaries[offset:offset + len(SEEDS)]
+        offset += len(SEEDS)
+        per_seed = [s.update_throughput / nodes for s in chunk]
+        aborted = sum(s.aborted for s in chunk)
+        total = sum(s.txn_count for s in chunk)
+        ci = mean_ci(per_seed)
+        goodput[(protocol, nodes)] = ci.mean
+        table.add(
+            protocol,
+            nodes,
+            str(ci),
+            max(s.update_p95 for s in chunk),
+            max(s.read_p95 for s in chunk),
+            100.0 * aborted / total if total else 0.0,
+            max(s.max_remote_wait for s in chunk),
+        )
     save_table("c1_scaling", table)
 
     # Shape assertions: 3V per-node goodput flat (within 15% of offered);

@@ -7,9 +7,36 @@ so they survive pytest's output capture; EXPERIMENTS.md records the
 paper-vs-measured comparison for each.
 """
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_jobs() -> int:
+    """Worker processes for fleet-driven benchmarks.
+
+    Controlled by ``REPRO_BENCH_JOBS`` (default 1 = serial).  Results are
+    bit-identical either way; only wall-clock changes.
+    """
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def run_fleet(specs, jobs=None):
+    """Run experiment specs through a cached fleet; ordered summaries.
+
+    The shared entry point for benchmarks that collect many independent
+    runs (seed replicates, parameter grids): fans out across
+    ``REPRO_BENCH_JOBS`` processes and caches summaries under
+    ``benchmarks/results/.fleet-cache`` so re-running a benchmark suite
+    only pays for what changed.
+    """
+    from repro.exp import Fleet, ResultCache
+
+    cache = ResultCache(RESULTS_DIR / ".fleet-cache")
+    fleet = Fleet(jobs=jobs if jobs is not None else bench_jobs(),
+                  cache=cache)
+    return fleet.run(specs)
 
 
 def save_table(name: str, table) -> None:

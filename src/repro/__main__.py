@@ -1,7 +1,13 @@
-"""Entry point for ``python -m repro``."""
+"""Entry point for ``python -m repro``.
+
+The ``__name__`` guard is load-bearing: the fleet's spawn-based workers
+re-import the parent's main module, and an unguarded ``main()`` here
+would recursively re-run the CLI inside every worker.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

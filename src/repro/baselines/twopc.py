@@ -199,7 +199,9 @@ class TwoPCNode(BaselineNode):
             yield state.reports_done
 
         decision_commit = not state.any_failure
-        remote = state.participants - {self.node_id}
+        # Sorted: iteration drives message sends (and therefore latency RNG
+        # draws), so set order must not leak the per-process hash seed.
+        remote = sorted(state.participants - {self.node_id})
         if decision_commit and remote:
             state.expected_voters = set(remote)
             for participant in remote:

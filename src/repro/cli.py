@@ -1,12 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common workflows without writing any code:
+Five commands cover the common workflows without writing any code:
 
 * ``run``      — one experiment on one protocol, with metrics and audit;
 * ``compare``  — the same workload across several protocols, side by side;
-* ``sweep``    — vary one parameter (nodes, advancement period, or
-  correction rate) on one protocol;
+* ``sweep``    — vary any experiment parameter on one protocol;
+* ``grid``     — multi-parameter × multi-seed grids with per-cell
+  aggregation;
 * ``paper``    — replay the paper's Table 1 / Figure 2 example.
+
+``compare``, ``sweep``, and ``grid`` run their independent simulations
+through a :class:`repro.exp.Fleet`: ``--jobs N`` fans tasks out over N
+worker processes (output stays bit-identical to a serial run), ``--reps``
+replicates every configuration over consecutive seeds, and a
+content-addressed cache under ``.repro-cache/`` makes repeated
+invocations near-free (``--no-cache`` / ``--refresh`` to opt out).
 
 Every command prints plain-text tables (see
 :class:`repro.analysis.report.Table`) and exits non-zero if a consistency
@@ -19,97 +27,110 @@ import argparse
 import sys
 import typing
 
-from repro.analysis import (
-    Table,
-    audit,
-    latency_summary,
-    max_remote_wait,
-    staleness_summary,
-    throughput,
+from repro.analysis import Table, audit
+from repro.errors import ReproError
+from repro.exp import (
+    DEFAULT_CACHE_DIR,
+    CellAggregate,
+    ExperimentSpec,
+    Fleet,
+    FleetTaskError,
+    GridAxis,
+    PARAMETERS,
+    PARAMETERS_BY_FLAG,
+    ResultCache,
+    expand_grid,
+    flatten_specs,
+    parse_parameter_value,
+    summarize,
 )
 from repro.workloads import PROTOCOLS, run_recording_experiment
 
-
-def _experiment_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--nodes", type=int, default=4,
-                        help="number of database nodes (default 4)")
-    parser.add_argument("--duration", type=float, default=30.0,
-                        help="simulated seconds of traffic (default 30)")
-    parser.add_argument("--update-rate", type=float, default=5.0,
-                        help="recording transactions per second")
-    parser.add_argument("--inquiry-rate", type=float, default=3.0,
-                        help="inquiry transactions per second")
-    parser.add_argument("--audit-rate", type=float, default=0.2,
-                        help="audit transactions per second")
-    parser.add_argument("--correction-rate", type=float, default=0.0,
-                        help="non-commuting corrections per second (NC3V)")
-    parser.add_argument("--entities", type=int, default=50,
-                        help="number of entities (patients/accounts/SKUs)")
-    parser.add_argument("--span", type=int, default=2,
-                        help="nodes each entity's records span")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="master random seed")
-    parser.add_argument("--period", type=float, default=10.0,
-                        help="advancement/switch period in simulated seconds")
-    parser.add_argument("--safety-delay", type=float, default=5.0,
-                        help="manual versioning's read-switch delay")
-    parser.add_argument("--abort-fraction", type=float, default=0.0,
-                        help="fraction of recordings that abort (compensation)")
-
-
-def _run_one(protocol: str, args) -> typing.Tuple[typing.Any, typing.Any]:
-    result = run_recording_experiment(
-        protocol,
-        nodes=args.nodes,
-        duration=args.duration,
-        update_rate=args.update_rate,
-        inquiry_rate=args.inquiry_rate,
-        audit_rate=args.audit_rate,
-        correction_rate=args.correction_rate,
-        entities=args.entities,
-        span=args.span,
-        seed=args.seed,
-        advancement_period=args.period,
-        safety_delay=args.safety_delay,
-        amount_mode="bitmask",
-        abort_fraction=args.abort_fraction,
-    )
-    report = audit(
-        result.history, result.workload,
-        check_snapshots=(protocol == "3v"),
-    )
-    return result, report
-
-
-def _metrics_row(protocol: str, result, report) -> list:
-    history = result.history
-    updates = latency_summary(history, kind="update")
-    reads = latency_summary(history, kind="read", which="global")
-    return [
-        protocol,
-        throughput(history, result.duration, kind="update"),
-        updates.p95,
-        reads.p95,
-        report.fractured_reads,
-        len(history.aborted_txns()),
-        max_remote_wait(history),
-    ]
-
+#: Protocols whose audits must be clean for the CLI to exit 0.
+_STRICT_PROTOCOLS = ("3v", "2pc")
 
 _METRIC_COLUMNS = [
-    "system", "upd/s", "upd p95", "read p95", "fractured", "aborted",
+    "upd/s", "upd p95", "read p95", "fractured", "aborted",
     "max remote wait",
 ]
 
 
+def _experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    """Experiment parameters, generated from the shared registry."""
+    for parameter in PARAMETERS:
+        parser.add_argument(
+            f"--{parameter.flag}", type=parameter.type,
+            default=parameter.default,
+            help=f"{parameter.help} (default {parameter.default!r})",
+        )
+
+
+def _fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = serial)")
+    parser.add_argument("--reps", type=int, default=1,
+                        help="replicates per configuration, on "
+                             "consecutive seeds (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache entirely")
+    parser.add_argument("--refresh", action="store_true",
+                        help="ignore cached results (but store fresh ones)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"result cache directory "
+                             f"(default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-task wall-clock budget in seconds "
+                             "(parallel backend only)")
+
+
+def _make_fleet(args) -> Fleet:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return Fleet(jobs=args.jobs, cache=cache, refresh=args.refresh,
+                 timeout=args.task_timeout)
+
+
+def _fleet_note(fleet: Fleet) -> str:
+    stats = fleet.stats
+    return (f"fleet: {stats.executed} run, {stats.cached} cached "
+            f"({fleet.backend}, jobs={fleet.jobs})")
+
+
+def _aggregate_cells(fleet: Fleet, cells) -> typing.List[CellAggregate]:
+    """Run every cell's specs and aggregate per cell, order preserved."""
+    summaries = fleet.run(flatten_specs(cells))
+    aggregates = []
+    offset = 0
+    for cell in cells:
+        chunk = summaries[offset:offset + len(cell.specs)]
+        offset += len(cell.specs)
+        aggregates.append(CellAggregate.of(chunk))
+    return aggregates
+
+
+def _metric_cells(aggregate: CellAggregate) -> list:
+    return [
+        aggregate.update_throughput,
+        aggregate.update_p95,
+        aggregate.read_p95,
+        aggregate.fractured_reads,
+        aggregate.aborted,
+        aggregate.max_remote_wait,
+    ]
+
+
 def cmd_run(args) -> int:
-    result, report = _run_one(args.protocol, args)
-    table = Table(f"{args.protocol}: {args.duration:g}s on {args.nodes} nodes",
-                  _METRIC_COLUMNS)
-    table.add(*_metrics_row(args.protocol, result, report))
+    spec = ExperimentSpec.from_args(args)
+    result = run_recording_experiment(spec.protocol, **spec.run_kwargs())
+    report = audit(result.history, result.workload,
+                   check_snapshots=(spec.protocol == "3v"))
+    summary = summarize(spec, result, report)
+    table = Table(f"{spec.protocol}: {spec.duration:g}s on "
+                  f"{spec.nodes} nodes",
+                  ["system"] + _METRIC_COLUMNS)
+    table.add(spec.protocol, *_metric_cells(CellAggregate.of([summary])))
     table.print()
-    staleness = staleness_summary(result.history)
-    print(f"read staleness: mean={staleness.mean:.2f} max={staleness.max:.2f}")
+    print(f"read staleness: mean={summary.staleness_mean:.2f} "
+          f"max={summary.staleness_max:.2f}")
     if not report.clean:
         print(f"AUDIT FAILED: {len(report.violations)} violations, e.g. "
               f"{report.violations[0]}")
@@ -124,37 +145,107 @@ def cmd_compare(args) -> int:
         print(f"unknown protocol(s): {', '.join(unknown)}; "
               f"choose from {', '.join(PROTOCOLS)}")
         return 2
-    table = Table(
-        f"Protocol comparison: {args.duration:g}s on {args.nodes} nodes "
-        f"(seed {args.seed})",
-        _METRIC_COLUMNS,
+    base = ExperimentSpec.from_args(args, protocol=args.protocols[0])
+    cells = expand_grid(
+        base, [GridAxis("system", "protocol", tuple(args.protocols))],
+        reps=args.reps,
     )
+    reps_note = f", {args.reps} reps" if args.reps > 1 else ""
+    table = Table(
+        f"Protocol comparison: {base.duration:g}s on {base.nodes} nodes "
+        f"(seed {base.seed}{reps_note})",
+        ["system"] + _METRIC_COLUMNS,
+    )
+    fleet = _make_fleet(args)
+    aggregates = _aggregate_cells(fleet, cells)
     failed = False
-    for protocol in args.protocols:
-        result, report = _run_one(protocol, args)
-        table.add(*_metrics_row(protocol, result, report))
-        if protocol in ("3v", "2pc") and not report.clean:
+    for cell, aggregate in zip(cells, aggregates):
+        protocol = cell.values[0]
+        table.add(protocol, *_metric_cells(aggregate))
+        if protocol in _STRICT_PROTOCOLS and not aggregate.audit_clean:
             failed = True
     table.print()
+    print(_fleet_note(fleet), file=sys.stderr)
     return 1 if failed else 0
 
 
 def cmd_sweep(args) -> int:
+    parameter = PARAMETERS_BY_FLAG[args.parameter]
+    try:
+        values = tuple(
+            parse_parameter_value(args.parameter, text)
+            for text in args.values
+        )
+    except ReproError as error:
+        print(error)
+        return 2
+    base = ExperimentSpec.from_args(args)
+    cells = expand_grid(
+        base, [GridAxis(parameter.flag, parameter.field, values)],
+        reps=args.reps,
+    )
+    reps_note = f" ({args.reps} reps)" if args.reps > 1 else ""
     table = Table(
-        f"Sweep of {args.parameter} on {args.protocol}",
+        f"Sweep of {args.parameter} on {args.protocol}{reps_note}",
         [args.parameter] + _METRIC_COLUMNS,
     )
-    for value in args.values:
-        if args.parameter == "nodes":
-            args.nodes = int(value)
-        elif args.parameter == "period":
-            args.period = value
-        elif args.parameter == "correction-rate":
-            args.correction_rate = value
-        result, report = _run_one(args.protocol, args)
-        table.add(value, *_metrics_row(args.protocol, result, report))
+    fleet = _make_fleet(args)
+    aggregates = _aggregate_cells(fleet, cells)
+    for cell, aggregate in zip(cells, aggregates):
+        table.add(cell.values[0], *_metric_cells(aggregate))
     table.print()
+    print(_fleet_note(fleet), file=sys.stderr)
     return 0
+
+
+def _parse_vary(text: str) -> GridAxis:
+    """``"nodes=2,4,8"`` -> a typed :class:`GridAxis`."""
+    flag, _, csv = text.partition("=")
+    if not csv:
+        raise ReproError(
+            f"--vary takes param=v1,v2,... (got {text!r})"
+        )
+    parameter = PARAMETERS_BY_FLAG.get(flag)
+    if parameter is None:
+        raise ReproError(
+            f"unknown parameter {flag!r}; choose from "
+            f"{', '.join(sorted(PARAMETERS_BY_FLAG))}"
+        )
+    values = tuple(
+        parse_parameter_value(flag, item) for item in csv.split(",")
+    )
+    return GridAxis(parameter.flag, parameter.field, values)
+
+
+def cmd_grid(args) -> int:
+    unknown = [p for p in args.protocols if p not in PROTOCOLS]
+    if unknown:
+        print(f"unknown protocol(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(PROTOCOLS)}")
+        return 2
+    try:
+        axes = [GridAxis("system", "protocol", tuple(args.protocols))]
+        axes.extend(_parse_vary(text) for text in args.vary or [])
+    except ReproError as error:
+        print(error)
+        return 2
+    base = ExperimentSpec.from_args(args, protocol=args.protocols[0])
+    cells = expand_grid(base, axes, reps=args.reps)
+    table = Table(
+        f"Grid: {len(cells)} cells x {args.reps} reps "
+        f"({base.duration:g}s, base seed {base.seed})",
+        [axis.flag for axis in axes] + ["reps"] + _METRIC_COLUMNS,
+    )
+    fleet = _make_fleet(args)
+    aggregates = _aggregate_cells(fleet, cells)
+    failed = False
+    for cell, aggregate in zip(cells, aggregates):
+        table.add(*cell.values, aggregate.reps, *_metric_cells(aggregate))
+        if cell.values[0] in _STRICT_PROTOCOLS and not aggregate.audit_clean:
+            failed = True
+    table.print()
+    print(_fleet_note(fleet), file=sys.stderr)
+    return 1 if failed else 0
 
 
 def cmd_paper(args) -> int:
@@ -204,18 +295,42 @@ def build_parser() -> argparse.ArgumentParser:
              f"choices: {', '.join(PROTOCOLS)})",
     )
     _experiment_arguments(compare_parser)
+    _fleet_arguments(compare_parser)
     compare_parser.set_defaults(handler=cmd_compare)
 
     sweep_parser = commands.add_parser(
-        "sweep", help="sweep one parameter on one protocol"
+        "sweep", help="sweep any experiment parameter on one protocol"
     )
     sweep_parser.add_argument("protocol", choices=PROTOCOLS)
     sweep_parser.add_argument(
-        "parameter", choices=["nodes", "period", "correction-rate"]
+        "parameter", choices=[p.flag for p in PARAMETERS],
+        help="which parameter to sweep",
     )
-    sweep_parser.add_argument("values", nargs="+", type=float)
+    sweep_parser.add_argument(
+        "values", nargs="+",
+        help="values to sweep (typed per parameter: ints stay ints)",
+    )
     _experiment_arguments(sweep_parser)
+    _fleet_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=cmd_sweep)
+
+    grid_parser = commands.add_parser(
+        "grid", help="multi-parameter x multi-seed grid with per-cell "
+                     "aggregation",
+    )
+    grid_parser.add_argument(
+        "protocols", nargs="*", default=["3v"], metavar="protocol",
+        help=f"protocols forming the first grid axis (default: 3v; "
+             f"choices: {', '.join(PROTOCOLS)})",
+    )
+    grid_parser.add_argument(
+        "--vary", action="append", metavar="PARAM=V1,V2,...",
+        help="add a grid axis, e.g. --vary nodes=2,4,8 "
+             "(repeatable; any sweep parameter)",
+    )
+    _experiment_arguments(grid_parser)
+    _fleet_arguments(grid_parser)
+    grid_parser.set_defaults(handler=cmd_grid)
 
     paper_parser = commands.add_parser(
         "paper", help="replay the paper's Table 1 / Figure 2 example"
@@ -227,7 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except FleetTaskError as error:
+        print(f"fleet task #{error.index} failed; worker traceback:")
+        print(error.traceback_text)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -301,7 +301,9 @@ class NC3VManager:
             yield state.reports_done
 
         decision_commit = not state.any_failure
-        remote_participants = state.participants - {node.node_id}
+        # Sorted: iteration drives message sends (and therefore latency RNG
+        # draws), so set order must not leak the per-process hash seed.
+        remote_participants = sorted(state.participants - {node.node_id})
         if decision_commit and remote_participants:
             # Prepare round: every remote participant votes.
             state.expected_voters = set(remote_participants)

@@ -1,0 +1,224 @@
+"""`Fleet` — run many independent experiments across processes.
+
+The simulation is single-threaded pure Python, so a 16-core host running
+a sweep serially delivers 1-core throughput.  A fleet fans a list of
+:class:`~repro.exp.spec.ExperimentSpec` tasks out over a pluggable
+backend and returns one :class:`~repro.exp.summary.ExperimentSummary`
+per task, **ordered by task index** — so the output (and anything
+printed from it) is bit-identical no matter how many workers ran or in
+what order they finished.
+
+Backends:
+
+* ``serial`` — run in-process, in order.  The reference semantics, the
+  default for ``jobs=1``, and the right choice for wall-clock-timed
+  benchmark kernels.
+* ``multiprocessing`` — spawn-safe worker pool (``jobs`` processes,
+  chunked dispatch, optional per-task timeout).  Workers execute
+  :func:`~repro.exp.summary.run_spec`; heavyweight ``System``/``History``
+  objects never cross the process boundary, only flat summaries do.
+
+A :class:`~repro.exp.cache.ResultCache` short-circuits tasks whose
+summary is already on disk; ``refresh=True`` bypasses and rewrites.
+Worker exceptions are captured with their full traceback text and
+re-raised in the parent as :class:`FleetTaskError` carrying the task
+index and spec.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import math
+import multiprocessing
+import traceback
+import typing
+
+from repro.errors import ReproError
+
+from repro.exp.cache import ResultCache
+from repro.exp.spec import ExperimentSpec
+from repro.exp.summary import ExperimentSummary, run_spec
+
+#: Valid backend names.
+BACKENDS = ("serial", "multiprocessing")
+
+
+class FleetTaskError(ReproError):
+    """One task failed; carries the worker's original traceback."""
+
+    def __init__(self, index: int, spec: ExperimentSpec,
+                 traceback_text: str):
+        self.index = index
+        self.spec = spec
+        self.traceback_text = traceback_text
+        super().__init__(
+            f"fleet task #{index} ({spec.protocol}, seed {spec.seed}) "
+            f"failed:\n{traceback_text}"
+        )
+
+
+@dataclasses.dataclass
+class FleetStats:
+    """What one ``Fleet.run`` call actually did."""
+
+    tasks: int = 0
+    executed: int = 0      # ran in a worker (serial or subprocess)
+    cached: int = 0        # served from the result cache
+
+
+_Task = typing.Tuple[int, ExperimentSpec]
+_TaskResult = typing.Tuple[int, bool, typing.Any]
+
+
+def _run_chunk(chunk: typing.Sequence[_Task]) -> typing.List[_TaskResult]:
+    """Worker entry point: run a chunk of tasks, never raise.
+
+    Exceptions are returned as ``(index, False, traceback_text)`` so the
+    original worker-side traceback survives the process boundary intact.
+    """
+    results: typing.List[_TaskResult] = []
+    for index, spec in chunk:
+        try:
+            results.append((index, True, run_spec(spec)))
+        except Exception:
+            results.append((index, False, traceback.format_exc()))
+    return results
+
+
+def _chunked(tasks: typing.Sequence[_Task], chunksize: int
+             ) -> typing.List[typing.List[_Task]]:
+    return [list(tasks[i:i + chunksize])
+            for i in range(0, len(tasks), chunksize)]
+
+
+class Fleet:
+    """Runs batches of experiment specs; see the module docstring.
+
+    Args:
+        jobs: Worker processes for the multiprocessing backend (and the
+            backend selector: ``jobs <= 1`` defaults to serial).
+        backend: ``"serial"`` or ``"multiprocessing"``; default derived
+            from ``jobs``.
+        cache: A :class:`ResultCache`, or ``None`` to disable caching.
+        refresh: Ignore cached entries (but still store fresh results).
+        timeout: Optional per-task wall-clock budget in seconds
+            (multiprocessing backend only).
+        chunksize: Tasks per dispatch unit; default balances IPC overhead
+            against load-balance (1 for small batches).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend: typing.Optional[str] = None,
+        cache: typing.Optional[ResultCache] = None,
+        refresh: bool = False,
+        timeout: typing.Optional[float] = None,
+        chunksize: typing.Optional[int] = None,
+    ):
+        if backend is None:
+            backend = "multiprocessing" if jobs > 1 else "serial"
+        if backend not in BACKENDS:
+            raise ReproError(
+                f"unknown fleet backend {backend!r}; pick from {BACKENDS}"
+            )
+        self.jobs = max(1, jobs)
+        self.backend = backend
+        self.cache = cache
+        self.refresh = refresh
+        self.timeout = timeout
+        self.chunksize = chunksize
+        self.stats = FleetStats()
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: typing.Sequence[ExperimentSpec]
+            ) -> typing.List[ExperimentSummary]:
+        """Run every spec; returns summaries ordered by task index."""
+        specs = list(specs)
+        self.stats = FleetStats(tasks=len(specs))
+        results: typing.List[typing.Optional[ExperimentSummary]] = (
+            [None] * len(specs)
+        )
+        pending: typing.List[_Task] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None and not self.refresh:
+                hit = self.cache.get(spec)
+                if hit is not None:
+                    results[index] = hit
+                    self.stats.cached += 1
+                    continue
+            pending.append((index, spec))
+
+        if pending:
+            if self.backend == "serial":
+                fresh = self._run_serial(pending)
+            else:
+                fresh = self._run_multiprocessing(pending)
+            for index, summary in fresh:
+                results[index] = summary
+                if self.cache is not None:
+                    self.cache.put(specs[index], summary)
+            self.stats.executed += len(pending)
+
+        return typing.cast(typing.List[ExperimentSummary], results)
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, pending: typing.Sequence[_Task]
+                    ) -> typing.List[typing.Tuple[int, ExperimentSummary]]:
+        out = []
+        for index, ok, payload in _run_chunk(pending):
+            if not ok:
+                raise FleetTaskError(index, dict(pending)[index], payload)
+            out.append((index, payload))
+        return out
+
+    def _auto_chunksize(self, count: int) -> int:
+        if self.chunksize is not None:
+            return max(1, self.chunksize)
+        # Simulation tasks are seconds-heavy; chunk only when the batch is
+        # large enough that per-dispatch IPC would otherwise dominate.
+        return max(1, math.ceil(count / (self.jobs * 8)))
+
+    def _run_multiprocessing(
+        self, pending: typing.Sequence[_Task]
+    ) -> typing.List[typing.Tuple[int, ExperimentSummary]]:
+        specs_by_index = dict(pending)
+        chunks = _chunked(pending, self._auto_chunksize(len(pending)))
+        workers = min(self.jobs, len(chunks))
+        # ``spawn`` everywhere: identical semantics on every platform and
+        # no forked copies of the parent's simulator state.
+        context = multiprocessing.get_context("spawn")
+        out: typing.List[typing.Tuple[int, ExperimentSummary]] = []
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [(chunk, pool.submit(_run_chunk, chunk))
+                       for chunk in chunks]
+            for chunk, future in futures:
+                budget = (
+                    self.timeout * len(chunk)
+                    if self.timeout is not None else None
+                )
+                try:
+                    chunk_results = future.result(timeout=budget)
+                except concurrent.futures.TimeoutError:
+                    first_index = chunk[0][0]
+                    for _, other in futures:
+                        other.cancel()
+                    raise FleetTaskError(
+                        first_index, specs_by_index[first_index],
+                        f"task exceeded per-task timeout "
+                        f"({self.timeout:g}s x chunk of {len(chunk)})",
+                    ) from None
+                for index, ok, payload in chunk_results:
+                    if not ok:
+                        raise FleetTaskError(
+                            index, specs_by_index[index], payload
+                        )
+                    out.append((index, payload))
+        return out

@@ -1,0 +1,107 @@
+"""Grid expansion and per-cell aggregation for multi-parameter studies.
+
+A grid is the cartesian product of one or more axes (any spec field,
+including ``protocol``) replicated over ``reps`` seeds.  Task ordering is
+deterministic — cells in axis-major order, reps innermost, seed derived
+as ``base.seed + rep`` — so the flattened spec list (and therefore every
+digest, cache key, and output row) is identical on every host and for
+every worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.exp.spec import ExperimentSpec
+from repro.exp.summary import ExperimentSummary
+
+
+@dataclasses.dataclass(frozen=True)
+class GridAxis:
+    """One swept dimension: a spec field and its values, display-named."""
+
+    flag: str                      # display/CLI name, e.g. "update-rate"
+    field: str                     # ExperimentSpec field name
+    values: typing.Tuple[typing.Any, ...]
+
+
+@dataclasses.dataclass
+class GridCell:
+    """One combination of axis values and its per-rep specs."""
+
+    values: typing.Tuple[typing.Any, ...]   # one per axis, in axis order
+    specs: typing.List[ExperimentSpec]      # one per rep, seed-ordered
+
+
+def expand_grid(
+    base: ExperimentSpec,
+    axes: typing.Sequence[GridAxis],
+    reps: int = 1,
+) -> typing.List[GridCell]:
+    """All cells of the grid, each carrying ``reps`` seeded specs.
+
+    Replicate seeds are ``base.seed + rep`` — deterministic, contiguous,
+    and disjoint across reps so replicate runs are independent draws.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1: {reps}")
+    cells = []
+    value_lists = [axis.values for axis in axes]
+    for combo in itertools.product(*value_lists):
+        specs = []
+        for rep in range(reps):
+            # An explicit ``seed`` axis wins over replicate seeding.
+            changes = {"seed": base.seed + rep}
+            changes.update(
+                (axis.field, value) for axis, value in zip(axes, combo)
+            )
+            specs.append(base.replace(**changes))
+        cells.append(GridCell(values=tuple(combo), specs=specs))
+    return cells
+
+
+def flatten_specs(cells: typing.Sequence[GridCell]
+                  ) -> typing.List[ExperimentSpec]:
+    """The fleet task list: cell-major, reps innermost."""
+    return [spec for cell in cells for spec in cell.specs]
+
+
+@dataclasses.dataclass(frozen=True)
+class CellAggregate:
+    """Replicate-aggregated metrics for one grid cell.
+
+    Rates and latencies are means over reps; violation and abort counts
+    are totals; ``max_remote_wait`` is the worst replicate (the paper's
+    Theorem 4.2 bound must hold for every run, not on average).
+    """
+
+    reps: int
+    update_throughput: float
+    update_p95: float
+    read_p95: float
+    staleness_mean: float
+    fractured_reads: int
+    aborted: int
+    max_remote_wait: float
+    audit_clean: bool
+
+    @classmethod
+    def of(cls, summaries: typing.Sequence[ExperimentSummary]
+           ) -> "CellAggregate":
+        if not summaries:
+            raise ValueError("cannot aggregate zero summaries")
+        count = len(summaries)
+        return cls(
+            reps=count,
+            update_throughput=sum(
+                s.update_throughput for s in summaries) / count,
+            update_p95=sum(s.update_p95 for s in summaries) / count,
+            read_p95=sum(s.read_p95 for s in summaries) / count,
+            staleness_mean=sum(s.staleness_mean for s in summaries) / count,
+            fractured_reads=sum(s.fractured_reads for s in summaries),
+            aborted=sum(s.aborted for s in summaries),
+            max_remote_wait=max(s.max_remote_wait for s in summaries),
+            audit_clean=all(s.audit_clean for s in summaries),
+        )

@@ -1,0 +1,166 @@
+"""`ExperimentSpec` — the picklable, digestable unit of experiment work.
+
+A spec is a frozen dataclass mirroring the keyword arguments of
+:func:`repro.workloads.run_recording_experiment`.  Being frozen and
+hashable it can cross a process boundary, key a result cache, and be
+compared for equality — three things the CLI's old pattern of mutating a
+shared ``argparse.Namespace`` in place could never do.
+
+The module also owns :data:`PARAMETERS`, the single registry of every
+sweepable experiment parameter (CLI flag, spec field, exact python type,
+default, help text).  ``repro.cli`` builds its argument parsers *and* its
+sweep/grid value parsing from this table, so "which parameters exist" is
+defined exactly once; integer parameters (``nodes``, ``entities``,
+``span``, ``seed``) stay exact ints all the way from the command line to
+table output and spec digests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import typing
+
+from repro.errors import ReproError
+
+
+@dataclasses.dataclass(frozen=True)
+class Parameter:
+    """One sweepable experiment parameter, shared by all CLI commands."""
+
+    flag: str                 # CLI name, e.g. "update-rate"
+    field: str                # ExperimentSpec field name
+    type: type                # int or float — values keep this exact type
+    default: typing.Any
+    help: str
+
+    @property
+    def dest(self) -> str:
+        """The argparse destination (``--update-rate`` -> ``update_rate``)."""
+        return self.flag.replace("-", "_")
+
+
+#: Every parameter an experiment accepts, in CLI display order.  ``sweep``
+#: and ``grid`` accept any of these by flag name.
+PARAMETERS: typing.Tuple[Parameter, ...] = (
+    Parameter("nodes", "nodes", int, 4,
+              "number of database nodes (default 4)"),
+    Parameter("duration", "duration", float, 30.0,
+              "simulated seconds of traffic (default 30)"),
+    Parameter("update-rate", "update_rate", float, 5.0,
+              "recording transactions per second"),
+    Parameter("inquiry-rate", "inquiry_rate", float, 3.0,
+              "inquiry transactions per second"),
+    Parameter("audit-rate", "audit_rate", float, 0.2,
+              "audit transactions per second"),
+    Parameter("correction-rate", "correction_rate", float, 0.0,
+              "non-commuting corrections per second (NC3V)"),
+    Parameter("entities", "entities", int, 50,
+              "number of entities (patients/accounts/SKUs)"),
+    Parameter("span", "span", int, 2,
+              "nodes each entity's records span"),
+    Parameter("seed", "seed", int, 0,
+              "master random seed"),
+    Parameter("period", "advancement_period", float, 10.0,
+              "advancement/switch period in simulated seconds"),
+    Parameter("safety-delay", "safety_delay", float, 5.0,
+              "manual versioning's read-switch delay"),
+    Parameter("abort-fraction", "abort_fraction", float, 0.0,
+              "fraction of recordings that abort (compensation)"),
+    Parameter("poll-interval", "poll_interval", float, 0.5,
+              "advancement counter poll interval (3V)"),
+)
+
+PARAMETERS_BY_FLAG: typing.Dict[str, Parameter] = {
+    p.flag: p for p in PARAMETERS
+}
+
+
+def parse_parameter_value(flag: str, text: str) -> typing.Union[int, float]:
+    """Parse one swept value with the parameter's exact type.
+
+    ``nodes 4`` stays ``int(4)`` (never ``4.0``), so digests and table
+    cells are exact; a fractional value for an integer parameter is an
+    error rather than a silent truncation.
+    """
+    parameter = PARAMETERS_BY_FLAG.get(flag)
+    if parameter is None:
+        raise ReproError(
+            f"unknown parameter {flag!r}; choose from "
+            f"{', '.join(sorted(PARAMETERS_BY_FLAG))}"
+        )
+    try:
+        return parameter.type(text)
+    except ValueError:
+        raise ReproError(
+            f"parameter {flag!r} takes {parameter.type.__name__} values, "
+            f"got {text!r}"
+        ) from None
+
+
+_SPEC_DIGEST_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, immutable description of one simulation run.
+
+    Mirrors :func:`repro.workloads.run_recording_experiment`; two specs
+    that compare equal produce bit-identical simulations, and
+    :meth:`digest` is a stable content address for caching.
+    """
+
+    protocol: str
+    nodes: int = 4
+    duration: float = 30.0
+    update_rate: float = 5.0
+    inquiry_rate: float = 3.0
+    audit_rate: float = 0.2
+    correction_rate: float = 0.0
+    entities: int = 50
+    span: int = 2
+    seed: int = 0
+    advancement_period: float = 10.0
+    safety_delay: float = 5.0
+    poll_interval: float = 0.5
+    amount_mode: str = "bitmask"
+    abort_fraction: float = 0.0
+    detail: bool = True
+
+    def replace(self, **changes) -> "ExperimentSpec":
+        """A copy with some fields changed (specs are immutable)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_seed(self, seed: int) -> "ExperimentSpec":
+        return self.replace(seed=seed)
+
+    def run_kwargs(self) -> typing.Dict[str, typing.Any]:
+        """Keyword arguments for ``run_recording_experiment``."""
+        kwargs = dataclasses.asdict(self)
+        kwargs.pop("protocol")
+        return kwargs
+
+    def digest(self) -> str:
+        """Stable content hash of the spec (hex sha256).
+
+        Ints and floats hash differently (``json`` renders ``4`` and
+        ``4.0`` distinctly), which is exactly right: integer parameters
+        must stay exact.
+        """
+        payload = dataclasses.asdict(self)
+        payload["_spec_version"] = _SPEC_DIGEST_VERSION
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @classmethod
+    def from_args(cls, args, protocol: typing.Optional[str] = None
+                  ) -> "ExperimentSpec":
+        """Build a spec from a parsed CLI namespace (never mutates it)."""
+        fields = {
+            p.field: getattr(args, p.dest) for p in PARAMETERS
+            if hasattr(args, p.dest)
+        }
+        if protocol is None:
+            protocol = args.protocol
+        return cls(protocol=protocol, **fields)

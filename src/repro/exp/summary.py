@@ -1,0 +1,169 @@
+"""`ExperimentSummary` — the compact, worker-side result of one run.
+
+A full :class:`~repro.workloads.runner.ExperimentResult` drags the whole
+``System`` (nodes, stores, network mailboxes, the simulator) and a
+detailed ``History`` along with it — megabytes of interlinked objects
+that are expensive (and pointless) to pickle across a process boundary.
+The fleet therefore reduces each run to this flat, JSON-able scorecard
+*inside the worker*: throughput, latency percentiles, staleness, the
+anomaly-audit verdict, advancement statistics, message counts, and a
+determinism digest of the event/transaction counts.
+
+``run_spec`` is the one function a worker process executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import typing
+
+from repro.analysis import (
+    audit,
+    latency_summary,
+    max_remote_wait,
+    staleness_summary,
+    throughput,
+)
+from repro.txn.history import TxnKind
+
+from repro.exp.spec import ExperimentSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSummary:
+    """Everything the tables and gates need from one finished run.
+
+    Flat floats/ints only — picklable, JSON round-trippable, and small
+    enough that shipping thousands of them between processes is free.
+    """
+
+    spec_digest: str
+    protocol: str
+    nodes: int
+    duration: float
+    submitted: int
+    # committed work, by kind
+    committed_updates: int
+    committed_reads: int
+    committed_noncommuting: int
+    aborted: int
+    compensated: int
+    # rates and latency distribution
+    update_throughput: float
+    update_mean: float
+    update_p50: float
+    update_p95: float
+    update_p99: float
+    update_max: float
+    read_mean: float
+    read_p95: float
+    staleness_mean: float
+    staleness_max: float
+    # audit verdict
+    reads_checked: int
+    fractured_reads: int
+    snapshot_mismatches: int
+    audit_clean: bool
+    max_remote_wait: float
+    # advancement machinery
+    advancement_runs: int
+    advancement_counter_polls: int
+    # network traffic
+    messages_total: int
+    messages_user: int
+    messages_control: int
+    # determinism canaries
+    sim_events: int
+    txn_count: int
+
+    def determinism_digest(self) -> str:
+        """Hex digest of the run's discrete counts.
+
+        Depends only on simulation behaviour (never on wall-clock), so it
+        must be bit-identical across worker counts, hosts, and backends.
+        """
+        payload = (
+            self.spec_digest, self.sim_events, self.txn_count,
+            self.submitted, self.committed_updates, self.committed_reads,
+            self.committed_noncommuting, self.aborted,
+            self.fractured_reads, self.snapshot_mismatches,
+        )
+        canonical = json.dumps(payload, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> typing.Dict[str, typing.Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping[str, typing.Any]
+                  ) -> "ExperimentSummary":
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+def summarize(spec: ExperimentSpec, result, report) -> ExperimentSummary:
+    """Reduce a finished run + audit report to a summary."""
+    history = result.history
+    updates = latency_summary(history, kind="update")
+    reads = latency_summary(history, kind="read", which="global")
+    staleness = staleness_summary(history)
+    stats = result.system.network.stats
+    coordinator = getattr(result.system, "coordinator", None)
+    if coordinator is not None:
+        advancement_runs = coordinator.completed_runs
+    else:
+        advancement_runs = len(history.advancements)
+    counter_polls = sum(a.counter_polls for a in history.advancements)
+    return ExperimentSummary(
+        spec_digest=spec.digest(),
+        protocol=spec.protocol,
+        nodes=spec.nodes,
+        duration=result.duration,
+        submitted=result.submitted,
+        committed_updates=history.count(TxnKind.UPDATE),
+        committed_reads=history.count(TxnKind.READ),
+        committed_noncommuting=history.count(TxnKind.NONCOMMUTING),
+        aborted=len(history.aborted_txns()),
+        compensated=report.compensated_txns,
+        update_throughput=throughput(history, result.duration, kind="update"),
+        update_mean=updates.mean,
+        update_p50=updates.p50,
+        update_p95=updates.p95,
+        update_p99=updates.p99,
+        update_max=updates.max,
+        read_mean=reads.mean,
+        read_p95=reads.p95,
+        staleness_mean=staleness.mean,
+        staleness_max=staleness.max,
+        reads_checked=report.reads_checked,
+        fractured_reads=report.fractured_reads,
+        snapshot_mismatches=report.snapshot_mismatches,
+        audit_clean=report.clean,
+        max_remote_wait=max_remote_wait(history),
+        advancement_runs=advancement_runs,
+        advancement_counter_polls=counter_polls,
+        messages_total=stats.total_sent,
+        messages_user=stats.user_messages,
+        messages_control=stats.control_messages,
+        sim_events=result.system.sim.scheduled_count,
+        txn_count=len(history.txns),
+    )
+
+
+def run_spec(spec: ExperimentSpec) -> ExperimentSummary:
+    """Run one experiment end-to-end and summarize it.
+
+    This is the fleet's worker entry point: heavyweight ``System`` /
+    ``History`` objects live and die inside the calling process.
+    """
+    from repro.workloads import run_recording_experiment
+
+    result = run_recording_experiment(spec.protocol, **spec.run_kwargs())
+    check_snapshots = (
+        spec.protocol == "3v" and spec.amount_mode == "bitmask" and spec.detail
+    )
+    report = audit(result.history, result.workload,
+                   check_snapshots=check_snapshots)
+    return summarize(spec, result, report)

@@ -91,7 +91,10 @@ class LockTable:
         self.sim = sim
         self._holders: typing.Dict[typing.Hashable, typing.Dict[str, str]] = {}
         self._queues: typing.Dict[typing.Hashable, collections.deque] = {}
-        self._keys_by_txn: typing.Dict[str, set] = {}
+        # Value dicts are insertion-ordered sets: ``release_all`` iterates
+        # them, and set iteration order would vary with the per-process
+        # hash seed — waking waiters in a different order run to run.
+        self._keys_by_txn: typing.Dict[str, typing.Dict] = {}
         # Root-transaction start timestamps of current holders (wait-die).
         self._timestamps: typing.Dict[str, float] = {}
         self.immediate_grants = 0
@@ -130,7 +133,7 @@ class LockTable:
         ]
         if not conflicts and not queue:
             holders[txn_id] = mode
-            self._keys_by_txn.setdefault(txn_id, set()).add(key)
+            self._keys_by_txn.setdefault(txn_id, {})[key] = None
             self._timestamps.setdefault(txn_id, timestamp)
             self.immediate_grants += 1
             event.succeed()
@@ -176,7 +179,7 @@ class LockTable:
 
     def release_all(self, txn_id: str) -> None:
         """Release every lock held by ``txn_id`` and wake eligible waiters."""
-        keys = self._keys_by_txn.pop(txn_id, set())
+        keys = self._keys_by_txn.pop(txn_id, ())
         self._timestamps.pop(txn_id, None)
         for key in keys:
             holders = self._holders.get(key)
@@ -228,7 +231,7 @@ class LockTable:
             existing = holders.get(waiter.txn_id)
             if existing is None or _STRENGTH[waiter.mode] > _STRENGTH[existing]:
                 holders[waiter.txn_id] = waiter.mode
-            self._keys_by_txn.setdefault(waiter.txn_id, set()).add(key)
+            self._keys_by_txn.setdefault(waiter.txn_id, {})[key] = None
             self._timestamps.setdefault(waiter.txn_id, waiter.timestamp)
             self.wait_time += self.sim.now - waiter.enqueued_at
             waiter.event.succeed()
@@ -243,7 +246,7 @@ class LockTable:
 
     def held_keys(self, txn_id: str) -> set:
         """Keys on which ``txn_id`` currently holds locks."""
-        return set(self._keys_by_txn.get(txn_id, set()))
+        return set(self._keys_by_txn.get(txn_id, ()))
 
     def queue_length(self, key) -> int:
         return len(self._queues.get(key, ()))

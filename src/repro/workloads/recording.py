@@ -105,6 +105,9 @@ class RecordingWorkload:
         self._entity_txn_counter: typing.Dict[int, int] = {}
         #: (name) -> (entity, amount) for ground-truth bookkeeping.
         self.update_amounts: typing.Dict[str, typing.Tuple[int, int]] = {}
+        #: correction name -> entity it overwrote.  Corrected entities no
+        #: longer decompose as bitmasks, so the snapshot oracle skips them.
+        self.correction_entities: typing.Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Initial data
@@ -217,6 +220,7 @@ class RecordingWorkload:
             ops=[WriteOp(balance_key(entity), Assign(new_value))],
             children=children,
         )
+        self.correction_entities[f"cor-{index}"] = entity
         return TransactionSpec(name=f"cor-{index}", root=root)
 
     # ------------------------------------------------------------------

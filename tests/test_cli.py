@@ -7,6 +7,9 @@ from repro.cli import build_parser, main
 FAST = ["--duration", "8", "--nodes", "3", "--update-rate", "3",
         "--inquiry-rate", "2", "--entities", "10"]
 
+#: For fleet commands: keep tests from writing to the repo's cache dir.
+FLEET_FAST = FAST + ["--no-cache"]
+
 
 class TestParser:
     def test_requires_command(self):
@@ -46,23 +49,71 @@ class TestRun:
 
 class TestCompare:
     def test_compare_default_protocols(self, capsys):
-        assert main(["compare"] + FAST) == 0
+        assert main(["compare"] + FLEET_FAST) == 0
         out = capsys.readouterr().out
         for protocol in ("3v", "nocoord", "manual", "2pc"):
             assert protocol in out
 
     def test_compare_subset(self, capsys):
-        assert main(["compare", "3v", "2pc"] + FAST) == 0
+        assert main(["compare", "3v", "2pc"] + FLEET_FAST) == 0
+
+    def test_compare_with_reps(self, capsys):
+        assert main(["compare", "3v", "--reps", "2"] + FLEET_FAST) == 0
+        out = capsys.readouterr().out
+        assert "2 reps" in out
 
 
 class TestSweep:
-    def test_sweep_nodes(self, capsys):
-        assert main(["sweep", "3v", "nodes", "2", "4"] + FAST) == 0
+    def test_sweep_nodes_renders_exact_ints(self, capsys):
+        assert main(["sweep", "3v", "nodes", "2", "4"] + FLEET_FAST) == 0
         out = capsys.readouterr().out
         assert "Sweep of nodes" in out
+        # Integer parameters stay exact ints, never "2.0" / "4.0".
+        cells = [line.split()[0] for line in out.splitlines()
+                 if line and line.split()[0].replace(".", "").isdigit()]
+        assert "2" in cells and "4" in cells
+        assert "2.0" not in cells and "4.0" not in cells
 
     def test_sweep_period(self, capsys):
-        assert main(["sweep", "3v", "period", "5", "20"] + FAST) == 0
+        assert main(["sweep", "3v", "period", "5", "20"] + FLEET_FAST) == 0
+
+    def test_sweep_any_registered_parameter(self, capsys):
+        assert main(
+            ["sweep", "3v", "update-rate", "2", "4"] + FLEET_FAST) == 0
+        out = capsys.readouterr().out
+        assert "Sweep of update-rate" in out
+
+    def test_sweep_rejects_fractional_int_parameter(self, capsys):
+        assert main(["sweep", "3v", "entities", "2.5"] + FLEET_FAST) == 2
+        assert "int" in capsys.readouterr().out
+
+    def test_sweep_does_not_mutate_defaults_across_values(self, capsys):
+        # The old CLI mutated one shared namespace per swept value; a
+        # sweep of span must leave nodes at its flag value for every task.
+        assert main(["sweep", "3v", "span", "1", "2"] + FLEET_FAST) == 0
+        out = capsys.readouterr().out
+        assert "Sweep of span" in out
+
+
+class TestGrid:
+    def test_grid_protocol_by_nodes(self, capsys):
+        assert main(["grid", "3v", "nocoord", "--vary", "nodes=2,3",
+                     "--reps", "2"] + FLEET_FAST) == 0
+        out = capsys.readouterr().out
+        assert "Grid: 4 cells x 2 reps" in out
+
+    def test_grid_rejects_unknown_parameter(self, capsys):
+        assert main(["grid", "3v", "--vary", "quantumness=1,2"]
+                    + FLEET_FAST) == 2
+        assert "unknown parameter" in capsys.readouterr().out
+
+    def test_grid_cached_rerun_is_identical(self, capsys, tmp_path):
+        argv = ["grid", "3v", "--vary", "nodes=2,3",
+                "--cache-dir", str(tmp_path)] + FAST
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
 
 
 class TestPaper:

@@ -38,6 +38,44 @@ import bench_hotpath  # noqa: E402  (needs the path setup above)
 
 SCHEMA_VERSION = 1
 
+#: ``--profile`` targets: benchmark name -> zero-arg callable factory.
+#: Each runs one suite workload once at the chosen mode's sizing.
+PROFILE_TARGETS = {
+    "kernel_callback": lambda cfg: (
+        lambda: bench_hotpath.kernel_callback_storm(cfg["kernel_events"])),
+    "kernel_process": lambda cfg: (
+        lambda: bench_hotpath.kernel_process_storm(cfg["process_items"])),
+    "e2e_3v": lambda cfg: (lambda: bench_hotpath.run_e2e(cfg["e2e"])),
+    "advancement": lambda cfg: (
+        lambda: bench_hotpath.run_e2e(cfg["advancement"])),
+    "counter": lambda cfg: (
+        lambda: bench_hotpath.counter_storm(cfg["counter_incs"])),
+    "mvstore": lambda cfg: (
+        lambda: bench_hotpath.mvstore_storm(cfg["mvstore_rounds"])),
+    "quiescent": lambda cfg: (
+        lambda: bench_hotpath.quiescent_storm(cfg["quiescent_checks"],
+                                              cfg["quiescent_nodes"])),
+}
+
+
+def profile_benchmark(name: str, mode: str,
+                      out_path: pathlib.Path | None = None) -> None:
+    """Run one benchmark under cProfile and print the hot functions."""
+    import cProfile
+    import pstats
+
+    target = PROFILE_TARGETS[name](bench_hotpath.CONFIGS[mode])
+    profiler = cProfile.Profile()
+    profiler.enable()
+    target()
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(30)
+    if out_path is not None:
+        stats.dump_stats(str(out_path))
+        print(f"wrote profile stats to {out_path} "
+              f"(load with pstats.Stats or snakeviz)")
+
 
 def _fmt(value: float) -> str:
     if value >= 1000:
@@ -142,7 +180,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", type=pathlib.Path, default=BASELINE_PATH,
                         help="baseline file to write (--update) or read "
                              "(--check)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="collect the independent e2e/advancement "
+                             "benchmarks in parallel worker processes "
+                             "(timed kernels always stay serial; use "
+                             "--jobs 1 for tracked measurements)")
+    parser.add_argument("--profile", choices=sorted(PROFILE_TARGETS),
+                        help="run one benchmark under cProfile and print "
+                             "the top functions by cumulative time")
+    parser.add_argument("--profile-out", type=pathlib.Path, default=None,
+                        help="also dump binary pstats for --profile")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        profile_benchmark(args.profile, "smoke" if args.smoke else "full",
+                          args.profile_out)
+        return 0
 
     if args.update:
         document = build_baseline()
@@ -153,7 +206,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     mode = "smoke" if args.smoke else "full"
-    suite = bench_hotpath.run_suite(mode)
+    suite = bench_hotpath.run_suite(mode, jobs=args.jobs)
 
     if args.check:
         baseline_path = args.output
@@ -168,7 +221,7 @@ def main(argv: list[str] | None = None) -> int:
             # steal alone.  A real regression fails both runs; determinism
             # breaks fail both runs by construction.
             print("gate: retrying once (first run exceeded tolerance) ...")
-            suite = bench_hotpath.run_suite(mode)
+            suite = bench_hotpath.run_suite(mode, jobs=args.jobs)
             passed = check(baseline, suite, mode, args.tolerance)
         print("gate:", "PASS" if passed else "FAIL",
               f"(mode={mode}, tolerance={args.tolerance:.0%})")
