@@ -8,393 +8,31 @@ The paper motivates 3V by rejecting three designs:
 * **Global synchronization** (:mod:`repro.baselines.twopc`) — distributed
   2PL + two-phase commit for every transaction.
 
-All baselines share this module's :class:`BaselineSystem` facade and
-:class:`BaselineNode` machinery (mailbox loop, local executor, hierarchical
-completion notices, compensation routing), so the analysis and benchmark
-code can treat any system — 3V included — through the same surface:
-``load`` / ``submit`` / ``run_until_quiet`` / ``history``.
+Since the runtime refactor all of the machinery the baselines share —
+mailbox loop, local executor, hierarchical completion notices,
+compensation routing — lives in :mod:`repro.runtime`; the names this
+module historically exported are kept as aliases of the runtime classes.
+:class:`BaselineSystem` *is* the plain runtime :class:`~repro.runtime.System`
+running the default (single-version, uncoordinated)
+:class:`~repro.runtime.plugin.ProtocolPlugin`, so the analysis and
+benchmark code can treat any system — 3V included — through the same
+surface: ``load`` / ``submit`` / ``run_until_quiet`` / ``history``.
 """
 
 from __future__ import annotations
 
-import typing
+from repro.runtime.node import ProtocolNode
+from repro.runtime.plugin import ProtocolPlugin
+from repro.runtime.system import System
 
-from repro.core.node import NodeConfig
-from repro.errors import ProtocolError
-from repro.net.latency import LatencyModel
-from repro.net.message import Message, MessageKind
-from repro.net.network import Network
-from repro.sim.distributions import RngRegistry
-from repro.sim.resources import Resource
-from repro.sim.simulator import Simulator
-from repro.storage.locktable import LockTable
-from repro.storage.mvstore import MVStore
-from repro.txn.history import (
-    History,
-    ReadEvent,
-    TxnKind,
-    WaitReason,
-    WriteEvent,
-)
-from repro.txn.runtime import (
-    CompletionNotice,
-    CompletionTracker,
-    SubtxnInstance,
-    TxnIndex,
-)
-from repro.txn.spec import ReadOp, TransactionSpec, WriteOp
+__all__ = ["BaselineNode", "BaselinePlugin", "BaselineSystem"]
+
+#: A baseline node is the shared runtime node.
+BaselineNode = ProtocolNode
+
+#: The default plugin already implements the "no protocol" semantics.
+BaselinePlugin = ProtocolPlugin
 
 
-class BaselineNode:
-    """A database node with no versioning protocol of its own.
-
-    Subclasses override the four small hooks at the bottom to define how
-    versions are assigned and how reads/writes hit the store.
-    """
-
-    def __init__(self, system: "BaselineSystem", node_id: str):
-        self.system = system
-        self.sim = system.sim
-        self.network = system.network
-        self.history = system.history
-        self.config = system.config
-        self.rngs = system.rngs
-        self.node_id = node_id
-        self.store = MVStore()
-        self.locks = LockTable(self.sim)
-        self.executor = Resource(self.sim, capacity=self.config.executor_capacity)
-        self._trackers: typing.Dict[tuple, CompletionTracker] = {}
-        self._executed: typing.Set[tuple] = set()
-        self._tombstones: typing.Set[tuple] = set()
-        self._mailbox = self.network.register(node_id)
-        self.sim.process(self._run(), name=f"node-{node_id}")
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
-
-    def _run(self):
-        while True:
-            message = yield self._mailbox.get()
-            self._dispatch(message)
-
-    def _dispatch(self, message: Message) -> None:
-        kind = message.kind
-        if kind in (MessageKind.SUBTXN_REQUEST, MessageKind.COMPENSATION):
-            instance = message.payload
-            self.sim.process(
-                self.run_subtxn(instance),
-                name=f"{self.node_id}:{instance.sid}",
-            )
-        elif kind == MessageKind.COMPLETION_NOTICE:
-            self._on_completion_notice(message.payload)
-        else:
-            self.handle_extra(message)
-
-    def handle_extra(self, message: Message) -> None:
-        """Hook for protocol-specific control messages."""
-        raise ProtocolError(
-            f"node {self.node_id}: unexpected message kind {message.kind!r}"
-        )
-
-    def submit(self, instance: SubtxnInstance) -> None:
-        self._mailbox.put(
-            Message(
-                src=self.node_id, dst=self.node_id,
-                kind=MessageKind.SUBTXN_REQUEST, payload=instance,
-                sent_at=self.sim.now, delivered_at=self.sim.now,
-            )
-        )
-
-    # ------------------------------------------------------------------
-    # Generic execution (no global coordination)
-    # ------------------------------------------------------------------
-
-    def classify(self, instance: SubtxnInstance) -> str:
-        if instance.txn.is_read_only:
-            return TxnKind.READ
-        if instance.txn.is_well_behaved:
-            return TxnKind.UPDATE
-        return TxnKind.NONCOMMUTING
-
-    def run_subtxn(self, instance: SubtxnInstance):
-        kind = self.classify(instance)
-        if instance.is_root:
-            arrived_at = self.sim.now
-            # Protocol-specific admission control (e.g. the synchronous
-            # manual-versioning variant blocks new roots mid-switch).
-            yield from self.admission_gate(instance, kind)
-            instance.version = self.assign_version(kind)
-            self.history.begin_txn(
-                instance.txn.name, kind, instance.version, arrived_at,
-                self.node_id,
-            )
-            self.history.waited(
-                instance.txn.name, WaitReason.ADVANCEMENT,
-                self.sim.now - arrived_at,
-            )
-        tracker = CompletionTracker(instance)
-        self._trackers[instance.instance_key] = tracker
-
-        queued_at = self.sim.now
-        yield self.executor.request()
-        self.history.waited(
-            instance.txn.name, WaitReason.EXECUTOR, self.sim.now - queued_at
-        )
-        try:
-            spec = instance.spec
-            if spec.ops:
-                service = self.rngs.sample("node.service", self.config.op_service)
-                yield self.sim.timeout(service * len(spec.ops))
-            tombstoned = self._apply_ops(instance, kind)
-        finally:
-            self.executor.release()
-
-        aborting = (
-            instance.spec.abort_here and not instance.compensating
-            and not tombstoned
-        )
-        if aborting:
-            self._apply_inverses(instance)
-            self.history.aborted(instance.txn.name, self.sim.now, "requested")
-            self.history.compensated(instance.txn.name)
-
-        if instance.compensating:
-            if not tombstoned:
-                self._fan_out_compensation(
-                    instance, tracker, skip=instance.comp_skip
-                )
-        elif aborting:
-            parent_sid = instance.index.parent[instance.sid]
-            if parent_sid is not None:
-                self._send_compensator(instance, tracker, parent_sid)
-        elif not tombstoned:
-            self._dispatch_children(instance, tracker)
-
-        if instance.is_root:
-            self.history.locally_committed(instance.txn.name, self.sim.now)
-        tracker.executed = True
-        if tracker.complete:
-            self._complete_instance(instance)
-
-    def _apply_ops(self, instance: SubtxnInstance, kind: str) -> bool:
-        original_key = (instance.txn.name, instance.sid, False)
-        if instance.compensating:
-            if original_key not in self._executed:
-                self._tombstones.add(original_key)
-                return True
-            self._apply_inverses(instance)
-            return False
-        if original_key in self._tombstones:
-            return True
-        version = instance.version
-        for op in instance.spec.ops:
-            if isinstance(op, ReadOp):
-                used, value = self.read_item(op.key, version)
-                self.history.read(
-                    ReadEvent(
-                        time=self.sim.now, txn=instance.txn.name,
-                        subtxn=instance.sid, node=self.node_id, key=op.key,
-                        version_requested=version, version_used=used,
-                        value=value,
-                    )
-                )
-            elif isinstance(op, WriteOp):
-                if kind == TxnKind.READ:
-                    raise ProtocolError(
-                        f"read-only transaction {instance.txn.name!r} "
-                        "attempted a write"
-                    )
-                written = self.write_item(op.key, version, op.operation)
-                self.history.wrote(
-                    WriteEvent(
-                        time=self.sim.now, txn=instance.txn.name,
-                        subtxn=instance.sid, node=self.node_id, key=op.key,
-                        version=version, versions_written=written,
-                        operation=op.operation,
-                    )
-                )
-        self._executed.add(instance.instance_key)
-        return False
-
-    def _apply_inverses(self, instance: SubtxnInstance) -> None:
-        for op in reversed(instance.spec.ops):
-            if not isinstance(op, WriteOp):
-                continue
-            inverse = op.operation.inverse()
-            written = self.write_item(op.key, instance.version, inverse)
-            self.history.wrote(
-                WriteEvent(
-                    time=self.sim.now, txn=instance.txn.name,
-                    subtxn=instance.sid, node=self.node_id, key=op.key,
-                    version=instance.version, versions_written=written,
-                    operation=inverse, compensating=True,
-                )
-            )
-
-    # ------------------------------------------------------------------
-    # Dispatch / completion / compensation plumbing
-    # ------------------------------------------------------------------
-
-    def _dispatch_children(self, instance, tracker) -> None:
-        for child_sid in instance.index.children[instance.sid]:
-            child = instance.child_instance(child_sid, self.node_id)
-            child.notify_key = instance.instance_key
-            target = instance.index.node_of(child_sid)
-            tracker.outstanding_children += 1
-            self.network.send(
-                self.node_id, target, MessageKind.SUBTXN_REQUEST, child
-            )
-
-    def _send_compensator(self, instance, tracker, target_sid: str) -> None:
-        compensator = instance.compensator(target_sid, self.node_id)
-        compensator.notify_key = instance.instance_key
-        target = instance.index.node_of(target_sid)
-        tracker.outstanding_children += 1
-        self.network.send(
-            self.node_id, target, MessageKind.COMPENSATION, compensator
-        )
-
-    def _fan_out_compensation(self, instance, tracker, skip) -> None:
-        for neighbour_sid in instance.index.neighbours(instance.sid):
-            if neighbour_sid != skip:
-                self._send_compensator(instance, tracker, neighbour_sid)
-
-    def _complete_instance(self, instance: SubtxnInstance) -> None:
-        del self._trackers[instance.instance_key]
-        if instance.notify_key is None:
-            self.history.globally_completed(instance.txn.name, self.sim.now)
-            return
-        notice = CompletionNotice(
-            txn_name=instance.txn.name,
-            parent_key=instance.notify_key,
-            child_key=instance.instance_key,
-        )
-        if instance.source_node == self.node_id:
-            self._on_completion_notice(notice)
-        else:
-            self.network.send(
-                self.node_id, instance.source_node,
-                MessageKind.COMPLETION_NOTICE, notice,
-            )
-
-    def _on_completion_notice(self, notice: CompletionNotice) -> None:
-        tracker = self._trackers.get(notice.parent_key)
-        if tracker is None:
-            raise ProtocolError(
-                f"node {self.node_id}: completion notice for unknown "
-                f"instance {notice.parent_key!r}"
-            )
-        tracker.outstanding_children -= 1
-        if tracker.complete:
-            self._complete_instance(tracker.instance)
-
-    @property
-    def active_subtxns(self) -> int:
-        return len(self._trackers)
-
-    # ------------------------------------------------------------------
-    # Versioning hooks (override per baseline)
-    # ------------------------------------------------------------------
-
-    def admission_gate(self, instance: SubtxnInstance, kind: str):
-        """Hook run before a root transaction is admitted (may yield)."""
-        return
-        yield  # pragma: no cover - makes this a generator
-
-    def assign_version(self, kind: str) -> int:
-        """Version for a newly arrived root transaction."""
-        return 0
-
-    def read_item(self, key, version: int):
-        """Return ``(version_used, value)``."""
-        used = self.store.version_max_leq(key, version)
-        value = self.store.get_exact(key, used) if used is not None else None
-        return used, value
-
-    def write_item(self, key, version: int, operation) -> int:
-        """Apply a write; return the number of version copies touched."""
-        self.store.ensure_version(key, version)
-        self.store.apply_exact(key, version, operation)
-        return 1
-
-
-class BaselineSystem:
+class BaselineSystem(System):
     """Facade shared by the baseline implementations."""
-
-    node_class = BaselineNode
-
-    def __init__(
-        self,
-        node_ids: typing.Sequence[str],
-        seed: int = 0,
-        latency: typing.Optional[LatencyModel] = None,
-        node_config: typing.Optional[NodeConfig] = None,
-        detail: bool = True,
-        fifo_links: bool = False,
-    ):
-        if not node_ids:
-            raise ProtocolError("a system needs at least one node")
-        self.sim = Simulator()
-        self.rngs = RngRegistry(seed)
-        self.network = Network(
-            self.sim, rngs=self.rngs, latency=latency, fifo_links=fifo_links
-        )
-        self.history = History(detail=detail)
-        self.config = node_config if node_config is not None else NodeConfig()
-        self.nodes: typing.Dict[str, BaselineNode] = {
-            node_id: self.node_class(self, node_id) for node_id in node_ids
-        }
-        self._submitted = 0
-
-    def load(self, node_id: str, key, value, version: int = 0) -> None:
-        self.node(node_id).store.load(key, value, version=version)
-
-    def node(self, node_id: str) -> BaselineNode:
-        try:
-            return self.nodes[node_id]
-        except KeyError:
-            raise ProtocolError(f"unknown node: {node_id!r}") from None
-
-    def submit(self, spec: TransactionSpec) -> None:
-        index = TxnIndex(spec)
-        instance = SubtxnInstance(
-            txn=spec, index=index, sid=index.root_id, version=None,
-            source_node=spec.root.node,
-        )
-        self.node(spec.root.node).submit(instance)
-        self._submitted += 1
-
-    def submit_at(self, time: float, spec: TransactionSpec) -> None:
-        self.sim.schedule(time - self.sim.now, self.submit, spec)
-
-    @property
-    def submitted_count(self) -> int:
-        return self._submitted
-
-    def value_at(self, node_id: str, key, version: typing.Optional[int] = None):
-        node = self.node(node_id)
-        bound = self.current_read_version(node) if version is None else version
-        return node.store.read_max_leq(key, bound, default=None)
-
-    def current_read_version(self, node: BaselineNode) -> int:
-        """What version a query arriving now would use (hook)."""
-        return 0
-
-    def run(self, until: typing.Optional[float] = None) -> None:
-        self.sim.run(until=until)
-
-    def run_for(self, duration: float) -> None:
-        self.sim.run(until=self.sim.now + duration)
-
-    def run_until_quiet(self, limit: float = float("inf")) -> None:
-        while self.sim.pending_count:
-            next_time = self.sim.peek_time()
-            if next_time is not None and next_time > limit:
-                raise ProtocolError(
-                    f"system not quiet by simulated time {limit!r}"
-                )
-            self.sim.step()
-
-    def stop_policy(self) -> None:
-        """Parity with :class:`~repro.core.system.ThreeVSystem` (no-op)."""

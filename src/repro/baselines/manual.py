@@ -26,41 +26,50 @@ from __future__ import annotations
 
 import typing
 
-from repro.baselines.base import BaselineNode, BaselineSystem
 from repro.errors import ProtocolError
 from repro.net.message import Message, MessageKind
+from repro.runtime.node import ProtocolNode
+from repro.runtime.plugin import ProtocolPlugin
+from repro.runtime.registry import PROTOCOLS
+from repro.runtime.system import System
 from repro.sim.events import Event
 from repro.txn.history import TxnKind
 
 MANUAL_COORDINATOR_ID = "manual-coordinator"
 
+#: A manual-versioning node is the runtime node with ``vu``/``vr`` and the
+#: freeze/thaw state attached by the plugin.
+ManualNode = ProtocolNode
 
-class ManualNode(BaselineNode):
-    """A node that switches versions on command, with no safety checks."""
 
-    def __init__(self, system: "ManualVersioningSystem", node_id: str):
-        super().__init__(system, node_id)
-        self.vu = 1
-        self.vr = 0
-        self._frozen = False
-        self._thaw = Event(self.sim)
-        self._thaw.succeed()  # starts open
+class ManualPlugin(ProtocolPlugin):
+    """Per-node policy: switch versions on command, with no safety checks."""
+
+    def init_node(self, node) -> None:
+        node.vu = 1
+        node.vr = 0
+        node._frozen = False
+        node._thaw = Event(node.sim)
+        node._thaw.succeed()  # starts open
 
     # -- versioning hooks ------------------------------------------------
 
-    def assign_version(self, kind: str) -> int:
-        return self.vr if kind == TxnKind.READ else self.vu
+    def assign_version(self, node, kind: str) -> int:
+        return node.vr if kind == TxnKind.READ else node.vu
 
-    def admission_gate(self, instance, kind):
-        while self._frozen:
-            yield self._thaw
+    def admission_gate(self, node, instance, kind):
+        return self._gate(node)
+
+    def _gate(self, node):
+        while node._frozen:
+            yield node._thaw
 
     # write_item: inherited apply_exact — deliberately *no* dual-write
     # rule; a straggler updates only its own version's copy.
 
     # -- control messages --------------------------------------------------
 
-    def handle_extra(self, message: Message) -> None:
+    def handle_message(self, node, message: Message) -> None:
         kind = message.kind
         if kind == MessageKind.START_ADVANCEMENT:
             if isinstance(message.payload, tuple):
@@ -68,39 +77,39 @@ class ManualNode(BaselineNode):
                 # one atomic message (separate messages could be reordered
                 # by the network, letting a thawed root see a stale vu).
                 vu_new, vr_new = message.payload
-                self.vu = max(self.vu, vu_new)
-                self.vr = max(self.vr, vr_new)
-                if self._frozen:
-                    self._frozen = False
-                    self._thaw.succeed()
+                node.vu = max(node.vu, vu_new)
+                node.vr = max(node.vr, vr_new)
+                if node._frozen:
+                    node._frozen = False
+                    node._thaw.succeed()
             else:
-                self.vu = max(self.vu, message.payload)
+                node.vu = max(node.vu, message.payload)
         elif kind == MessageKind.READ_ADVANCE:
-            self.vr = max(self.vr, message.payload)
+            node.vr = max(node.vr, message.payload)
         elif kind == MessageKind.FREEZE:
-            if not self._frozen:
-                self._frozen = True
-                self._thaw = Event(self.sim)
-            self.network.send(
-                self.node_id, message.src, MessageKind.FREEZE_ACK,
-                self.node_id,
+            if not node._frozen:
+                node._frozen = True
+                node._thaw = Event(node.sim)
+            node.network.send(
+                node.node_id, message.src, MessageKind.FREEZE_ACK,
+                node.node_id,
             )
         elif kind == MessageKind.UNFREEZE:
-            if self._frozen:
-                self._frozen = False
-                self._thaw.succeed()
+            if node._frozen:
+                node._frozen = False
+                node._thaw.succeed()
         elif kind == MessageKind.ACTIVE_QUERY:
-            self.network.send(
-                self.node_id, message.src, MessageKind.ACTIVE_REPLY,
-                (self.node_id, self.active_subtxns),
+            node.network.send(
+                node.node_id, message.src, MessageKind.ACTIVE_REPLY,
+                (node.node_id, node.active_subtxns),
             )
         else:
             raise ProtocolError(
-                f"manual node {self.node_id}: unexpected {kind!r}"
+                f"manual node {node.node_id}: unexpected {kind!r}"
             )
 
 
-class ManualVersioningSystem(BaselineSystem):
+class ManualVersioningSystem(System):
     """Period-driven versioning with a fixed (hoped-sufficient) delay.
 
     Args:
@@ -114,7 +123,7 @@ class ManualVersioningSystem(BaselineSystem):
         start_after: Time of the first switch (defaults to ``period``).
     """
 
-    node_class = ManualNode
+    plugin_class = ManualPlugin
 
     def __init__(
         self,
@@ -235,3 +244,32 @@ class ManualVersioningSystem(BaselineSystem):
             if all(count == 0 for count in replies.values()):
                 return
             yield self.sim.timeout(self.poll_interval)
+
+
+def _build_manual(node_ids, *, seed, latency, node_config, detail,
+                  advancement_period, safety_delay, poll_interval,
+                  allow_noncommuting):
+    return ManualVersioningSystem(
+        node_ids, period=advancement_period, safety_delay=safety_delay,
+        seed=seed, latency=latency, node_config=node_config, detail=detail,
+    )
+
+
+def _build_manual_sync(node_ids, *, seed, latency, node_config, detail,
+                       advancement_period, safety_delay, poll_interval,
+                       allow_noncommuting):
+    return ManualVersioningSystem(
+        node_ids, period=advancement_period, synchronous=True,
+        seed=seed, latency=latency, node_config=node_config, detail=detail,
+    )
+
+
+PROTOCOLS.register(
+    "manual", _build_manual, order=2,
+    description="periodic version switches with a fixed safety delay "
+                "(no termination detection)",
+)
+PROTOCOLS.register(
+    "manual-sync", _build_manual_sync, order=3,
+    description="manual versioning's blocking freeze-drain-switch variant",
+)

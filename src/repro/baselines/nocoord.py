@@ -8,7 +8,7 @@ multi-node update can observe some of its writes and miss others (the
 patient who "sees only partial charges from procedures performed during a
 single visit").
 
-The implementation is the :class:`~repro.baselines.base.BaselineNode`
+The implementation is the :class:`~repro.runtime.plugin.ProtocolPlugin`
 defaults: one version (number 0), reads and writes hit it directly.  The
 anomaly detector in :mod:`repro.analysis.anomalies` quantifies the
 resulting fractured reads for experiment C4.
@@ -16,14 +16,35 @@ resulting fractured reads for experiment C4.
 
 from __future__ import annotations
 
-from repro.baselines.base import BaselineNode, BaselineSystem
+from repro.runtime.node import ProtocolNode
+from repro.runtime.plugin import ProtocolPlugin
+from repro.runtime.registry import PROTOCOLS
+from repro.runtime.system import System
+
+#: Single-version node; the runtime node running the no-protocol defaults.
+NoCoordNode = ProtocolNode
 
 
-class NoCoordNode(BaselineNode):
-    """Single-version node; inherits the no-protocol defaults."""
+class NoCoordPlugin(ProtocolPlugin):
+    """The runtime defaults *are* the no-coordination protocol."""
 
 
-class NoCoordSystem(BaselineSystem):
+class NoCoordSystem(System):
     """A cluster with no global concurrency control at all."""
 
-    node_class = NoCoordNode
+    plugin_class = NoCoordPlugin
+
+
+def _build_nocoord(node_ids, *, seed, latency, node_config, detail,
+                   advancement_period, safety_delay, poll_interval,
+                   allow_noncommuting):
+    return NoCoordSystem(
+        node_ids, seed=seed, latency=latency, node_config=node_config,
+        detail=detail,
+    )
+
+
+PROTOCOLS.register(
+    "nocoord", _build_nocoord, order=1,
+    description="no global coordination at all (fast but fractured reads)",
+)

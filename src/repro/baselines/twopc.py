@@ -14,6 +14,10 @@ trips; deadlocks are avoided with wait-die on the root transaction's
 submit timestamp, and aborted transactions can be retried a configurable
 number of times.
 
+The 2PL/2PC mechanics are :class:`~repro.runtime.twophase.TwoPhaseEngine`
+(shared verbatim with NC3V); this baseline runs *everything* — not just
+non-commuting transactions — through it, at the single version 0.
+
 The point of this baseline is the *shape* of its cost: latency grows with
 node count and network delay, readers block writers and vice versa, and
 throughput saturates — exactly the behaviour that makes practitioners
@@ -22,301 +26,46 @@ turn off global coordination in data recording systems.
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
-from repro.baselines.base import BaselineNode, BaselineSystem
-from repro.errors import DeadlockAbort, ProtocolError
-from repro.net.message import Message, MessageKind
-from repro.sim.events import Event
-from repro.storage.locktable import LockMode
-from repro.storage.values import undo_operation
-from repro.txn.history import ReadEvent, WaitReason, WriteEvent
+from repro.net.message import Message
+from repro.runtime.node import ProtocolNode
+from repro.runtime.plugin import ProtocolPlugin
+from repro.runtime.registry import PROTOCOLS
+from repro.runtime.system import System
+from repro.runtime.twophase import TwoPhaseEngine
 from repro.txn.runtime import SubtxnInstance, TxnIndex
-from repro.txn.spec import ReadOp, TransactionSpec, WriteOp
+from repro.txn.spec import TransactionSpec
+
+#: A 2PC node is the runtime node; the plugin attaches its engine as
+#: ``node.twophase`` (with ``commits`` / ``deadlock_aborts`` counters).
+TwoPCNode = ProtocolNode
 
 
-@dataclasses.dataclass
-class _UndoEntry:
-    key: typing.Hashable
-    undo: typing.Any
+class TwoPCEngine(TwoPhaseEngine):
+    """The shared engine, reporting root outcomes for the retry loop."""
+
+    def on_finished(self, instance: SubtxnInstance, committed: bool) -> None:
+        self.node.system.txn_finished(instance.txn, committed)
 
 
-@dataclasses.dataclass
-class _ParticipantState:
-    txn_name: str
-    undo_log: typing.List[_UndoEntry] = dataclasses.field(default_factory=list)
-    failed: bool = False
+class TwoPCPlugin(ProtocolPlugin):
+    """Divert every transaction into the two-phase-commit engine."""
 
+    def init_node(self, node) -> None:
+        node.twophase = TwoPCEngine(node)
 
-@dataclasses.dataclass
-class _RootState:
-    instance: SubtxnInstance
-    outstanding: typing.Set[str] = dataclasses.field(default_factory=set)
-    participants: typing.Set[str] = dataclasses.field(default_factory=set)
-    any_failure: bool = False
-    reports_done: Event = None
-    votes: typing.Set[str] = dataclasses.field(default_factory=set)
-    vote_no: bool = False
-    votes_done: Event = None
-    acks: typing.Set[str] = dataclasses.field(default_factory=set)
-    acks_done: Event = None
-    expected_voters: typing.Set[str] = dataclasses.field(default_factory=set)
-    expected_ackers: typing.Set[str] = dataclasses.field(default_factory=set)
+    def takeover(self, node, instance: SubtxnInstance, kind: str):
+        return node.twophase.run_subtxn(instance)
 
-
-class TwoPCNode(BaselineNode):
-    """A node running distributed strict 2PL with two-phase commit."""
-
-    _EXEC_REPORT = "exec-report"
-    _PREPARE_VOTE = "prepare-vote"
-
-    def __init__(self, system: "TwoPCSystem", node_id: str):
-        super().__init__(system, node_id)
-        self._participants: typing.Dict[str, _ParticipantState] = {}
-        self._roots: typing.Dict[str, _RootState] = {}
-        self.deadlock_aborts = 0
-        self.commits = 0
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-
-    def run_subtxn(self, instance: SubtxnInstance):
-        node_id = self.node_id
-        txn_name = instance.txn.name
-        if instance.is_root:
-            instance.version = 0
-            self.history.begin_txn(
-                txn_name, self.classify(instance), 0, self.sim.now, node_id
-            )
-
-        state = self._participants.get(txn_name)
-        if state is None:
-            state = _ParticipantState(txn_name=txn_name)
-            self._participants[txn_name] = state
-
-        ok = yield from self._execute_locally(instance, state)
-
-        dispatched: typing.List[str] = []
-        if ok:
-            for child_sid in instance.index.children[instance.sid]:
-                child = instance.child_instance(child_sid, node_id)
-                target = instance.index.node_of(child_sid)
-                self.network.send(
-                    node_id, target, MessageKind.SUBTXN_REQUEST, child
-                )
-                dispatched.append(child_sid)
-
-        if instance.is_root:
-            yield from self._coordinate(instance, ok, dispatched)
+    def handle_message(self, node, message: Message) -> None:
+        if node.twophase.handles(message.kind):
+            node.twophase.dispatch(message)
         else:
-            root_node = instance.index.node_of(instance.index.root_id)
-            self.network.send(
-                node_id, root_node, MessageKind.VOTE,
-                (self._EXEC_REPORT, txn_name, instance.sid, node_id, ok,
-                 dispatched),
-            )
-
-    def _execute_locally(self, instance: SubtxnInstance,
-                         state: _ParticipantState):
-        txn_name = instance.txn.name
-        spec = instance.spec
-        record = self.history.txns[txn_name]
-        timestamp = record.submit_time
-
-        for op in spec.ops:
-            mode = LockMode.NW if isinstance(op, WriteOp) else LockMode.NR
-            queued_at = self.sim.now
-            event = self.locks.acquire(op.key, mode, txn_name, timestamp)
-            try:
-                yield event
-            except DeadlockAbort:
-                self.deadlock_aborts += 1
-                state.failed = True
-                return False
-            self.history.waited(
-                txn_name, WaitReason.LOCK, self.sim.now - queued_at
-            )
-
-        queued_at = self.sim.now
-        yield self.executor.request()
-        self.history.waited(
-            txn_name, WaitReason.EXECUTOR, self.sim.now - queued_at
-        )
-        try:
-            if spec.ops:
-                service = self.rngs.sample("node.service", self.config.op_service)
-                yield self.sim.timeout(service * len(spec.ops))
-            for op in spec.ops:
-                if isinstance(op, ReadOp):
-                    used, value = self.read_item(op.key, 0)
-                    self.history.read(
-                        ReadEvent(
-                            time=self.sim.now, txn=txn_name,
-                            subtxn=instance.sid, node=self.node_id,
-                            key=op.key, version_requested=0,
-                            version_used=used, value=value,
-                        )
-                    )
-                else:
-                    self.store.ensure_version(op.key, 0)
-                    previous = self.store.get_exact(op.key, 0)
-                    state.undo_log.append(
-                        _UndoEntry(op.key, undo_operation(op.operation, previous))
-                    )
-                    self.store.apply_exact(op.key, 0, op.operation)
-                    self.history.wrote(
-                        WriteEvent(
-                            time=self.sim.now, txn=txn_name,
-                            subtxn=instance.sid, node=self.node_id,
-                            key=op.key, version=0, versions_written=1,
-                            operation=op.operation,
-                        )
-                    )
-        finally:
-            self.executor.release()
-        return True
-
-    # ------------------------------------------------------------------
-    # Two-phase commit (root side)
-    # ------------------------------------------------------------------
-
-    def _coordinate(self, instance: SubtxnInstance, root_ok: bool,
-                    dispatched: typing.List[str]):
-        txn_name = instance.txn.name
-        state = _RootState(instance=instance)
-        state.reports_done = Event(self.sim)
-        state.votes_done = Event(self.sim)
-        state.acks_done = Event(self.sim)
-        state.outstanding = set(dispatched)
-        state.participants = {self.node_id}
-        state.any_failure = not root_ok
-        self._roots[txn_name] = state
-
-        remote_wait_start = self.sim.now
-        if state.outstanding:
-            yield state.reports_done
-
-        decision_commit = not state.any_failure
-        # Sorted: iteration drives message sends (and therefore latency RNG
-        # draws), so set order must not leak the per-process hash seed.
-        remote = sorted(state.participants - {self.node_id})
-        if decision_commit and remote:
-            state.expected_voters = set(remote)
-            for participant in remote:
-                self.network.send(
-                    self.node_id, participant, MessageKind.PREPARE, txn_name
-                )
-            yield state.votes_done
-            decision_commit = not state.vote_no
-
-        self._apply_decision_locally(txn_name, decision_commit)
-        if remote:
-            state.expected_ackers = set(remote)
-            for participant in remote:
-                self.network.send(
-                    self.node_id, participant, MessageKind.DECISION,
-                    (txn_name, decision_commit),
-                )
-        self.history.waited(
-            txn_name, WaitReason.REMOTE, self.sim.now - remote_wait_start
-        )
-        if decision_commit:
-            self.commits += 1
-            self.history.locally_committed(txn_name, self.sim.now)
-        else:
-            self.history.aborted(txn_name, self.sim.now, "2pc-abort")
-        if remote:
-            yield state.acks_done
-        self.history.globally_completed(txn_name, self.sim.now)
-        del self._roots[txn_name]
-        self.system.txn_finished(instance.txn, decision_commit)
-
-    # ------------------------------------------------------------------
-    # Control messages
-    # ------------------------------------------------------------------
-
-    def handle_extra(self, message: Message) -> None:
-        kind = message.kind
-        if kind == MessageKind.VOTE:
-            self._on_vote(message)
-        elif kind == MessageKind.PREPARE:
-            self._on_prepare(message)
-        elif kind == MessageKind.DECISION:
-            self._on_decision(message)
-        elif kind == MessageKind.DECISION_ACK:
-            self._on_decision_ack(message)
-        else:
-            super().handle_extra(message)
-
-    def _on_vote(self, message: Message) -> None:
-        tag = message.payload[0]
-        if tag == self._EXEC_REPORT:
-            _tag, txn_name, sid, participant, ok, dispatched = message.payload
-            state = self._roots.get(txn_name)
-            if state is None:
-                raise ProtocolError(f"exec report for unknown root {txn_name!r}")
-            state.outstanding.discard(sid)
-            state.outstanding.update(dispatched)
-            state.participants.add(participant)
-            if not ok:
-                state.any_failure = True
-            if not state.outstanding and not state.reports_done.triggered:
-                state.reports_done.succeed()
-        elif tag == self._PREPARE_VOTE:
-            _tag, txn_name, participant, vote_yes = message.payload
-            state = self._roots.get(txn_name)
-            if state is None:
-                raise ProtocolError(f"vote for unknown root {txn_name!r}")
-            state.votes.add(participant)
-            if not vote_yes:
-                state.vote_no = True
-            if state.votes >= state.expected_voters and not (
-                state.votes_done.triggered
-            ):
-                state.votes_done.succeed()
-        else:
-            raise ProtocolError(f"unknown vote tag {tag!r}")
-
-    def _on_prepare(self, message: Message) -> None:
-        txn_name = message.payload
-        state = self._participants.get(txn_name)
-        vote_yes = state is not None and not state.failed
-        self.network.send(
-            self.node_id, message.src, MessageKind.VOTE,
-            (self._PREPARE_VOTE, txn_name, self.node_id, vote_yes),
-        )
-
-    def _on_decision(self, message: Message) -> None:
-        txn_name, commit = message.payload
-        self._apply_decision_locally(txn_name, commit)
-        self.network.send(
-            self.node_id, message.src, MessageKind.DECISION_ACK,
-            (txn_name, self.node_id),
-        )
-
-    def _on_decision_ack(self, message: Message) -> None:
-        txn_name, participant = message.payload
-        state = self._roots.get(txn_name)
-        if state is None:
-            raise ProtocolError(f"decision ack for unknown root {txn_name!r}")
-        state.acks.add(participant)
-        if state.acks >= state.expected_ackers and not state.acks_done.triggered:
-            state.acks_done.succeed()
-
-    def _apply_decision_locally(self, txn_name: str, commit: bool) -> None:
-        state = self._participants.pop(txn_name, None)
-        if state is None:
-            return
-        if not commit:
-            for entry in reversed(state.undo_log):
-                self.store.apply_exact(entry.key, 0, entry.undo)
-        self.locks.release_all(txn_name)
-        self.locks.cancel_waits(txn_name)
+            super().handle_message(node, message)
 
 
-class TwoPCSystem(BaselineSystem):
+class TwoPCSystem(System):
     """A cluster where every transaction is a full distributed transaction.
 
     Args:
@@ -328,7 +77,7 @@ class TwoPCSystem(BaselineSystem):
             lock holders whose 2PC rounds span several network RTTs).
     """
 
-    node_class = TwoPCNode
+    plugin_class = TwoPCPlugin
 
     def __init__(self, node_ids, retries: int = 3,
                  retry_backoff: float = 0.5, **kwargs):
@@ -364,3 +113,19 @@ def _rename(spec: TransactionSpec, new_name: str) -> TransactionSpec:
     return TransactionSpec(
         name=new_name, root=spec.root, priority_hint=spec.priority_hint
     )
+
+
+def _build_2pc(node_ids, *, seed, latency, node_config, detail,
+               advancement_period, safety_delay, poll_interval,
+               allow_noncommuting):
+    return TwoPCSystem(
+        node_ids, seed=seed, latency=latency, node_config=node_config,
+        detail=detail,
+    )
+
+
+PROTOCOLS.register(
+    "2pc", _build_2pc, order=4, strict_audit=True,
+    description="distributed strict 2PL + two-phase commit for every "
+                "transaction",
+)

@@ -46,8 +46,9 @@ from repro.exp import (
 )
 from repro.workloads import PROTOCOLS, run_recording_experiment
 
-#: Protocols whose audits must be clean for the CLI to exit 0.
-_STRICT_PROTOCOLS = ("3v", "2pc")
+#: Protocols whose audits must be clean for the CLI to exit 0
+#: (derived from the registry's ``strict_audit`` flags).
+_STRICT_PROTOCOLS = PROTOCOLS.strict()
 
 _METRIC_COLUMNS = [
     "upd/s", "upd p95", "read p95", "fractured", "aborted",

@@ -25,106 +25,76 @@ The NC3V root algorithm implemented here:
    version advancement's quiescence check correctly waits for
    non-commuting transactions too.
 
-Wait-die (on the root transaction's start timestamp) avoids deadlocks on
-the non-commuting locks; a died or version-conflicted subtransaction votes
-"no" and the whole transaction rolls back from its undo log.
+The 2PL/2PC mechanics — execution reports, prepare/vote and decision/ack
+rounds, undo logs, wait-die — are
+:class:`~repro.runtime.twophase.TwoPhaseEngine`, shared verbatim with the
+2PC baseline; this subclass adds only the version-aware steps above.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
-from repro.errors import DeadlockAbort, ProtocolError
-from repro.net.message import Message, MessageKind
+from repro.runtime.twophase import (
+    ParticipantState,
+    RootState,
+    TwoPhaseEngine,
+    UndoEntry,
+)
 from repro.sim.events import Event
-from repro.storage.locktable import LockMode
-from repro.storage.values import Operation, undo_operation
 from repro.txn.history import TxnKind, WaitReason, WriteEvent
 from repro.txn.runtime import SubtxnInstance
-from repro.txn.spec import ReadOp, WriteOp
+from repro.txn.spec import WriteOp
 
-if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.node import ThreeVNode
-
-
-@dataclasses.dataclass
-class _UndoEntry:
-    key: typing.Hashable
-    version: int
-    undo: Operation
+# Backwards-compatible aliases for the dataclasses that used to live here.
+_UndoEntry = UndoEntry
+_ParticipantState = ParticipantState
+_RootState = RootState
 
 
-@dataclasses.dataclass
-class _ParticipantState:
-    """Per-transaction state on a node that executed NC subtransactions."""
-
-    txn_name: str
-    version: int
-    undo_log: typing.List[_UndoEntry] = dataclasses.field(default_factory=list)
-    #: ``(sid, source_node)`` for every subtransaction executed here.
-    executed: typing.List[typing.Tuple[str, str]] = dataclasses.field(
-        default_factory=list
-    )
-    failed: bool = False
-
-
-@dataclasses.dataclass
-class _RootState:
-    """Two-phase-commit coordination state at the root node."""
-
-    instance: SubtxnInstance
-    #: Subtransaction ids whose execution report is still expected.
-    outstanding: typing.Set[str] = dataclasses.field(default_factory=set)
-    participants: typing.Set[str] = dataclasses.field(default_factory=set)
-    any_failure: bool = False
-    reports_done: Event = None
-    votes: typing.Set[str] = dataclasses.field(default_factory=set)
-    vote_no: bool = False
-    votes_done: Event = None
-    acks: typing.Set[str] = dataclasses.field(default_factory=set)
-    acks_done: Event = None
-    expected_voters: typing.Set[str] = dataclasses.field(default_factory=set)
-    expected_ackers: typing.Set[str] = dataclasses.field(default_factory=set)
-
-
-class NC3VManager:
+class NC3VManager(TwoPhaseEngine):
     """Per-node driver for non-well-behaved transactions."""
 
-    _KINDS = frozenset(
-        {MessageKind.PREPARE, MessageKind.VOTE, MessageKind.DECISION,
-         MessageKind.DECISION_ACK}
-    )
-    #: payload tag distinguishing execution reports from 2PC votes.
-    _EXEC_REPORT = "exec-report"
-    _PREPARE_VOTE = "prepare-vote"
+    abort_reason = "nc-abort"
 
-    def __init__(self, node: "ThreeVNode"):
-        self.node = node
-        self._participants: typing.Dict[str, _ParticipantState] = {}
-        self._roots: typing.Dict[str, _RootState] = {}
+    def __init__(self, node):
+        super().__init__(node)
         #: Transactions gated on the ``vu == vr + 1`` condition.
         self._gate_waiters: typing.List[typing.Tuple[int, Event]] = []
         self.aborts_version_conflict = 0
-        self.aborts_deadlock = 0
-        self.commits = 0
+
+    @property
+    def aborts_deadlock(self) -> int:
+        """Wait-die aborts (engine counter, kept under the historic name)."""
+        return self.deadlock_aborts
 
     # ------------------------------------------------------------------
-    # Node integration
+    # Root admission (Section 5 steps 1-2)
     # ------------------------------------------------------------------
 
-    def handles(self, kind: str) -> bool:
-        return kind in self._KINDS
+    def admit_root(self, instance: SubtxnInstance):
+        node = self.node
+        # Step 1: V(K) := vu.
+        instance.version = node.vu
+        node.counters.inc_request(instance.version, node.node_id)
+        node.history.begin_txn(
+            instance.txn.name, TxnKind.NONCOMMUTING, instance.version,
+            node.sim.now, node.node_id,
+        )
+        # Step 2: wait until V(K) == vr + 1.
+        if instance.version != node.vr + 1:
+            return self._gate(instance)
+        return None
 
-    def dispatch(self, message: Message) -> None:
-        if message.kind == MessageKind.PREPARE:
-            self._on_prepare(message)
-        elif message.kind == MessageKind.VOTE:
-            self._on_vote(message)
-        elif message.kind == MessageKind.DECISION:
-            self._on_decision(message)
-        elif message.kind == MessageKind.DECISION_ACK:
-            self._on_decision_ack(message)
+    def _gate(self, instance: SubtxnInstance):
+        node = self.node
+        gate = Event(node.sim)
+        self._gate_waiters.append((instance.version, gate))
+        gated_at = node.sim.now
+        yield gate
+        node.history.waited(
+            instance.txn.name, WaitReason.VERSION_GATE, node.sim.now - gated_at
+        )
 
     def on_read_advance(self) -> None:
         """Called by the node when ``vr`` changes: re-check gated roots."""
@@ -137,303 +107,43 @@ class NC3VManager:
         self._gate_waiters = still_waiting
 
     # ------------------------------------------------------------------
-    # Subtransaction execution
+    # Version-aware engine hooks
     # ------------------------------------------------------------------
 
-    def run_subtxn(self, instance: SubtxnInstance):
+    def note_request(self, version, target: str) -> None:
+        # Step 5: increment the request counter before each child send.
+        self.node.counters.inc_request(version, target)
+
+    def check_version_conflict(self, instance: SubtxnInstance) -> bool:
+        # Step 4 version check, before any write.
         node = self.node
-        txn_name = instance.txn.name
-        if instance.is_root:
-            # Step 1: V(K) := vu.
-            instance.version = node.vu
-            node.counters.inc_request(instance.version, node.node_id)
-            node.history.begin_txn(
-                txn_name, TxnKind.NONCOMMUTING, instance.version,
-                node.sim.now, node.node_id,
-            )
-            # Step 2: wait until V(K) == vr + 1.
-            if instance.version != node.vr + 1:
-                gate = Event(node.sim)
-                self._gate_waiters.append((instance.version, gate))
-                gated_at = node.sim.now
-                yield gate
-                node.history.waited(
-                    txn_name, WaitReason.VERSION_GATE, node.sim.now - gated_at
-                )
-
-        state = self._participants.get(txn_name)
-        if state is None:
-            state = _ParticipantState(txn_name=txn_name, version=instance.version)
-            self._participants[txn_name] = state
-
-        ok = yield from self._execute_locally(instance, state)
-
-        dispatched: typing.List[str] = []
-        if ok:
-            for child_sid in instance.index.children[instance.sid]:
-                child = instance.child_instance(child_sid, node.node_id)
-                target = instance.index.node_of(child_sid)
-                node.counters.inc_request(instance.version, target)
-                node.network.send(
-                    node.node_id, target, MessageKind.SUBTXN_REQUEST, child
-                )
-                dispatched.append(child_sid)
-
-        if instance.is_root:
-            yield from self._coordinate(instance, ok, dispatched)
-        else:
-            # Report execution outcome (and what was dispatched) to the root.
-            root_node = instance.index.node_of(instance.index.root_id)
-            node.network.send(
-                node.node_id, root_node, MessageKind.VOTE,
-                (self._EXEC_REPORT, txn_name, instance.sid, node.node_id,
-                 ok, dispatched),
-            )
-
-    def _execute_locally(self, instance: SubtxnInstance,
-                         state: _ParticipantState):
-        """Locks, version check, and writes for one NC subtransaction.
-
-        Returns ``True`` on success, ``False`` if the subtransaction failed
-        (wait-die or version conflict) — failure aborts the whole
-        transaction at decision time.
-        """
-        node = self.node
-        txn_name = instance.txn.name
-        spec = instance.spec
-        timestamp = self._root_timestamp(instance)
-
-        # 2PL acquisition (NR/NW), wait-die on conflict.
-        for op in spec.ops:
-            mode = LockMode.NW if isinstance(op, WriteOp) else LockMode.NR
-            queued_at = node.sim.now
-            event = node.locks.acquire(op.key, mode, txn_name, timestamp)
-            try:
-                yield event
-            except DeadlockAbort:
-                self.aborts_deadlock += 1
-                state.failed = True
-                state.executed.append((instance.sid, instance.source_node))
-                return False
-            node.history.waited(
-                txn_name, WaitReason.LOCK, node.sim.now - queued_at
-            )
-
-        queued_at = node.sim.now
-        yield node.executor.request()
-        node.history.waited(
-            txn_name, WaitReason.EXECUTOR, node.sim.now - queued_at
-        )
-        try:
-            if spec.ops:
-                service = node.rngs.sample(
-                    "node.service", node.config.op_service
-                )
-                yield node.sim.timeout(service * len(spec.ops))
-            version = instance.version
-            # Step 4 version check, before any write.
-            for op in spec.ops:
-                if isinstance(op, WriteOp) and node.store.exists_above(
-                    op.key, version
-                ):
-                    self.aborts_version_conflict += 1
-                    state.failed = True
-                    state.executed.append((instance.sid, instance.source_node))
-                    return False
-            for op in spec.ops:
-                if isinstance(op, ReadOp):
-                    used = node.store.version_max_leq(op.key, version)
-                    value = (
-                        node.store.get_exact(op.key, used)
-                        if used is not None else None
-                    )
-                    node.history.read(
-                        _read_event(node, instance, op.key, version, used, value)
-                    )
-                else:
-                    node.store.ensure_version(op.key, version)
-                    previous = node.store.get_exact(op.key, version)
-                    undo = undo_operation(op.operation, previous)
-                    node.store.apply_exact(op.key, version, op.operation)
-                    state.undo_log.append(_UndoEntry(op.key, version, undo))
-                    node.history.wrote(
-                        WriteEvent(
-                            time=node.sim.now,
-                            txn=txn_name,
-                            subtxn=instance.sid,
-                            node=node.node_id,
-                            key=op.key,
-                            version=version,
-                            versions_written=1,
-                            operation=op.operation,
-                        )
-                    )
-        finally:
-            node.executor.release()
-        state.executed.append((instance.sid, instance.source_node))
-        return True
-
-    def _root_timestamp(self, instance: SubtxnInstance) -> float:
-        record = self.node.history.txns.get(instance.txn.name)
-        if record is not None:
-            return record.submit_time
-        return instance.txn.priority_hint
-
-    # ------------------------------------------------------------------
-    # Two-phase commitment (root side)
-    # ------------------------------------------------------------------
-
-    def _coordinate(self, instance: SubtxnInstance, root_ok: bool,
-                    dispatched: typing.List[str]):
-        node = self.node
-        txn_name = instance.txn.name
-        state = _RootState(instance=instance)
-        state.reports_done = Event(node.sim)
-        state.votes_done = Event(node.sim)
-        state.acks_done = Event(node.sim)
-        state.outstanding = set(dispatched)
-        state.participants = {node.node_id}
-        state.any_failure = not root_ok
-        self._roots[txn_name] = state
-
-        remote_wait_start = node.sim.now
-        if state.outstanding:
-            yield state.reports_done
-
-        decision_commit = not state.any_failure
-        # Sorted: iteration drives message sends (and therefore latency RNG
-        # draws), so set order must not leak the per-process hash seed.
-        remote_participants = sorted(state.participants - {node.node_id})
-        if decision_commit and remote_participants:
-            # Prepare round: every remote participant votes.
-            state.expected_voters = set(remote_participants)
-            for participant in remote_participants:
-                node.network.send(
-                    node.node_id, participant, MessageKind.PREPARE, txn_name
-                )
-            yield state.votes_done
-            decision_commit = not state.vote_no
-
-        # Decision round.
-        self._apply_decision_locally(txn_name, decision_commit)
-        if remote_participants:
-            state.expected_ackers = set(remote_participants)
-            for participant in remote_participants:
-                node.network.send(
-                    node.node_id, participant, MessageKind.DECISION,
-                    (txn_name, decision_commit),
-                )
-        node.history.waited(
-            txn_name, WaitReason.REMOTE, node.sim.now - remote_wait_start
-        )
-        if decision_commit:
-            self.commits += 1
-            node.history.locally_committed(txn_name, node.sim.now)
-        else:
-            node.history.aborted(txn_name, node.sim.now, "nc-abort")
-        if remote_participants:
-            yield state.acks_done
-        node.history.globally_completed(txn_name, node.sim.now)
-        del self._roots[txn_name]
-
-    # ------------------------------------------------------------------
-    # Message handlers
-    # ------------------------------------------------------------------
-
-    def _on_vote(self, message: Message) -> None:
-        tag = message.payload[0]
-        if tag == self._EXEC_REPORT:
-            _tag, txn_name, sid, participant, ok, dispatched = message.payload
-            state = self._roots.get(txn_name)
-            if state is None:
-                raise ProtocolError(f"exec report for unknown root {txn_name!r}")
-            state.outstanding.discard(sid)
-            state.outstanding.update(dispatched)
-            state.participants.add(participant)
-            if not ok:
-                state.any_failure = True
-            if not state.outstanding and not state.reports_done.triggered:
-                state.reports_done.succeed()
-        elif tag == self._PREPARE_VOTE:
-            _tag, txn_name, participant, vote_yes = message.payload
-            state = self._roots.get(txn_name)
-            if state is None:
-                raise ProtocolError(f"vote for unknown root {txn_name!r}")
-            state.votes.add(participant)
-            if not vote_yes:
-                state.vote_no = True
-            if state.votes >= state.expected_voters and not (
-                state.votes_done.triggered
+        version = instance.version
+        for op in instance.spec.ops:
+            if isinstance(op, WriteOp) and node.store.exists_above(
+                op.key, version
             ):
-                state.votes_done.succeed()
-        else:
-            raise ProtocolError(f"unknown vote tag {tag!r}")
+                self.aborts_version_conflict += 1
+                return True
+        return False
 
-    def _on_prepare(self, message: Message) -> None:
-        txn_name = message.payload
-        state = self._participants.get(txn_name)
-        vote_yes = state is not None and not state.failed
-        self.node.network.send(
-            self.node.node_id, message.src, MessageKind.VOTE,
-            (self._PREPARE_VOTE, txn_name, self.node.node_id, vote_yes),
-        )
-
-    def _on_decision(self, message: Message) -> None:
-        txn_name, commit = message.payload
-        self._apply_decision_locally(txn_name, commit)
-        self.node.network.send(
-            self.node.node_id, message.src, MessageKind.DECISION_ACK,
-            (txn_name, self.node.node_id),
-        )
-
-    def _on_decision_ack(self, message: Message) -> None:
-        txn_name, participant = message.payload
-        state = self._roots.get(txn_name)
-        if state is None:
-            raise ProtocolError(f"decision ack for unknown root {txn_name!r}")
-        state.acks.add(participant)
-        if state.acks >= state.expected_ackers and not state.acks_done.triggered:
-            state.acks_done.succeed()
-
-    def _apply_decision_locally(self, txn_name: str, commit: bool) -> None:
-        """Commit or roll back this node's part, release locks, and count
-        completions atomically with the decision (Section 5, step 6)."""
+    def record_undo_event(self, txn_name: str, entry: UndoEntry) -> None:
         node = self.node
-        state = self._participants.pop(txn_name, None)
-        if state is None:
-            return
-        if not commit:
-            for entry in reversed(state.undo_log):
-                node.store.apply_exact(entry.key, entry.version, entry.undo)
-                node.history.wrote(
-                    WriteEvent(
-                        time=node.sim.now,
-                        txn=txn_name,
-                        subtxn="(rollback)",
-                        node=node.node_id,
-                        key=entry.key,
-                        version=entry.version,
-                        versions_written=1,
-                        operation=entry.undo,
-                        compensating=True,
-                    )
-                )
+        node.history.wrote(
+            WriteEvent(
+                time=node.sim.now,
+                txn=txn_name,
+                subtxn="(rollback)",
+                node=node.node_id,
+                key=entry.key,
+                version=entry.version,
+                versions_written=1,
+                operation=entry.undo,
+                compensating=True,
+            )
+        )
+
+    def after_decision(self, state: ParticipantState) -> None:
+        # Completion counters move atomically with the decision (step 6).
+        node = self.node
         for sid, source in state.executed:
             node.counters.inc_completion(state.version, source)
-        node.locks.release_all(txn_name)
-        node.locks.cancel_waits(txn_name)
-
-
-def _read_event(node, instance, key, version, used, value):
-    from repro.txn.history import ReadEvent
-
-    return ReadEvent(
-        time=node.sim.now,
-        txn=instance.txn.name,
-        subtxn=instance.sid,
-        node=node.node_id,
-        key=key,
-        version_requested=version,
-        version_used=used,
-        value=value,
-    )

@@ -1,17 +1,20 @@
-"""The 3V database node (Sections 4.1 and 4.2 of the paper).
+"""The 3V protocol plugin (Sections 4.1 and 4.2 of the paper).
 
 Each node owns a multi-version store, a request/completion counter table,
 its current update version ``vu`` and read version ``vr``, and a local
-executor modelling local concurrency control.  The node processes:
+executor modelling local concurrency control.  The generic node mechanism
+(mailbox loop, executor, completion notices, compensation routing) lives
+in :mod:`repro.runtime`; this module supplies the 3V policy:
 
 * root subtransactions — assigned ``V(T) = vu`` (updates) or ``V(T) = vr``
   (queries) on arrival;
 * descendant subtransactions — carrying ``V(T)`` from their root; an update
   descendant with ``V(T) > vu`` acts as an implicit start-advancement
   notification (Section 2.2);
-* compensating subtransactions (Section 3.2), which roll back the effects
-  of a subtransaction at the transaction's version and propagate along tree
-  edges;
+* request counters incremented before every child/compensator send and
+  completion counters incremented per Table 1's hierarchical timing (or
+  the literal Section 4.1 step 6 "immediate" timing — an ablation);
+* the dual-write rule for straggler subtransactions (Section 4.1 step 4);
 * version-advancement control messages from the coordinator (Section 4.3).
 
 The user-visible commitment of a subtransaction happens right after its
@@ -26,387 +29,101 @@ conservative and correct.
 
 from __future__ import annotations
 
-import dataclasses
-import typing
-
 from repro.errors import DeadlockAbort, ProtocolError
 from repro.net.message import Message, MessageKind
-from repro.net.network import Network
-from repro.sim.distributions import Constant, Distribution, RngRegistry
-from repro.sim.resources import Resource
-from repro.sim.simulator import Simulator
+from repro.runtime.config import NodeConfig
+from repro.runtime.node import ProtocolNode
+from repro.runtime.plugin import ProtocolPlugin
 from repro.storage.counters import CounterTable
-from repro.storage.locktable import LockMode, LockTable
-from repro.storage.mvstore import MVStore
+from repro.storage.locktable import LockMode
 from repro.txn.history import (
-    History,
     ReadEvent,
     TxnKind,
     WaitReason,
     WriteEvent,
 )
-from repro.txn.runtime import CompletionNotice, CompletionTracker, SubtxnInstance
+from repro.txn.runtime import SubtxnInstance
 from repro.txn.spec import ReadOp, WriteOp
 
+#: A 3V node is the shared runtime node; all protocol state the plugin
+#: attaches (``counters``, ``vu``, ``vr``, ``nc3v``) lives on it.
+ThreeVNode = ProtocolNode
 
-@dataclasses.dataclass
-class NodeConfig:
-    """Tunables shared by every node in a system.
-
-    Attributes:
-        op_service: Distribution of local service time per operation.
-        executor_capacity: Multiprogramming level of the local executor
-            (1 = fully serial local execution).
-        enable_locking: Whether well-behaved transactions take commuting
-            locks (needed only when non-commuting transactions are present;
-            pure 3V systems leave this off and take no locks at all).
-        completion: When the completion counter is incremented.
-            ``"hierarchical"`` (default) increments a subtransaction's
-            counter only after all its descendants complete — the timing
-            the paper's Table 1 shows, which keeps quiescence detection
-            conservative.  ``"immediate"`` increments it right after the
-            subtransaction dispatches its children and commits — the
-            literal Section 4.1 step 6, under which only the two-wave
-            counter read is sound (the C7 ablation exploits this).
-        store_factory: Constructor for the per-node versioned store —
-            :class:`~repro.storage.mvstore.MVStore` (default) or the
-            fixed three-slot :class:`~repro.storage.slotstore.SlotStore`
-            that reuses version numbers as the paper suggests.
-        dual_write: Section 4.1 step 4's "update all versions of x greater
-            or equal to version V(T)".  ``False`` is an ABLATION that
-            updates only ``x(V(T))``, reintroducing the straggler
-            inconsistency the rule exists to fix (a version-``v``
-            subtransaction landing on a node that already created the
-            ``v+1`` copy leaves that copy permanently short).
-        initial_update_version: ``vu`` at startup (the paper starts at 1).
-        initial_read_version: ``vr`` at startup (the paper starts at 0).
-    """
-
-    op_service: Distribution = dataclasses.field(
-        default_factory=lambda: Constant(0.001)
-    )
-    executor_capacity: int = 1
-    enable_locking: bool = False
-    completion: str = "hierarchical"
-    store_factory: typing.Callable[[], MVStore] = MVStore
-    dual_write: bool = True
-    initial_update_version: int = 1
-    initial_read_version: int = 0
+__all__ = ["NodeConfig", "ThreeVNode", "ThreeVPlugin"]
 
 
-class ThreeVNode:
-    """One database node running the 3V protocol."""
+class ThreeVPlugin(ProtocolPlugin):
+    """Protocol policy for 3V (and, when enabled, its NC3V extension)."""
 
-    def __init__(
-        self,
-        sim: Simulator,
-        network: Network,
-        node_id: str,
-        history: History,
-        config: typing.Optional[NodeConfig] = None,
-        rngs: typing.Optional[RngRegistry] = None,
-    ):
-        self.sim = sim
-        self.network = network
-        self.node_id = node_id
-        self.history = history
-        self.config = config if config is not None else NodeConfig()
-        self.rngs = rngs if rngs is not None else RngRegistry(0)
+    def __init__(self, allow_noncommuting: bool = False):
+        super().__init__()
+        self.allow_noncommuting = allow_noncommuting
 
-        self.store = self.config.store_factory()
-        self.counters = CounterTable(node_id)
-        self.locks = LockTable(sim)
-        self.executor = Resource(sim, capacity=self.config.executor_capacity)
+    # ------------------------------------------------------------------
+    # System / node integration
+    # ------------------------------------------------------------------
 
-        self.vu = self.config.initial_update_version
-        self.vr = self.config.initial_read_version
-        self.counters.ensure_version(self.vr)
-        self.counters.ensure_version(self.vu)
+    def bind(self, system) -> None:
+        super().bind(system)
+        if self.allow_noncommuting:
+            system.config.enable_locking = True
 
-        #: In-flight completion trackers, keyed by instance key.
-        self._trackers: typing.Dict[tuple, CompletionTracker] = {}
-        #: Subtransactions whose ops ran here (needed by compensation).
-        self._executed: typing.Set[tuple] = set()
-        #: Compensation that arrived before its target subtransaction.
-        self._tombstones: typing.Set[tuple] = set()
+    def make_store(self, node):
+        return node.config.store_factory()
+
+    def init_node(self, node) -> None:
+        node.counters = CounterTable(node.node_id)
+        node.vu = node.config.initial_update_version
+        node.vr = node.config.initial_read_version
+        node.counters.ensure_version(node.vr)
+        node.counters.ensure_version(node.vu)
         #: Versions for which a start-advancement was already processed.
-        self._advanced_to: typing.Set[int] = {self.vu}
+        node._advanced_to = {node.vu}
+        # Hook the NC3V extension (only in mixed deployments).
+        if self.allow_noncommuting:
+            from repro.core.nc3v import NC3VManager
 
-        self._mailbox = network.register(node_id)
-        self._main = sim.process(self._run(), name=f"node-{node_id}")
-
-        # The service-time stream is drawn from on every subtransaction;
-        # binding it once avoids the registry lookup per draw (stream seeds
-        # are name-derived, so early binding does not perturb any draws).
-        self._service_rng = self.rngs.stream("node.service")
-
-        # Hook the NC3V extension lazily (set by the system when needed).
-        self.nc3v = None
-
-    # ------------------------------------------------------------------
-    # Main loop
-    # ------------------------------------------------------------------
-
-    def _run(self):
-        while True:
-            message = yield self._mailbox.get()
-            self._dispatch(message)
-
-    def _dispatch(self, message: Message) -> None:
-        kind = message.kind
-        if kind == MessageKind.SUBTXN_REQUEST or kind == MessageKind.COMPENSATION:
-            instance = message.payload
-            self.sim.process(
-                self._run_subtxn(instance),
-                name=f"{self.node_id}:{instance.sid}",
-            )
-        elif kind == MessageKind.COMPLETION_NOTICE:
-            self._on_completion_notice(message.payload)
-        elif kind == MessageKind.START_ADVANCEMENT:
-            self._on_start_advancement(message)
-        elif kind == MessageKind.COUNTER_READ:
-            self._on_counter_read(message)
-        elif kind == MessageKind.READ_ADVANCE:
-            self._on_read_advance(message)
-        elif kind == MessageKind.GARBAGE_COLLECT:
-            self._on_garbage_collect(message)
-        elif kind == MessageKind.LOCK_RELEASE:
-            self.locks.release_all(message.payload)
-        elif self.nc3v is not None and self.nc3v.handles(kind):
-            self.nc3v.dispatch(message)
+            node.nc3v = NC3VManager(node)
         else:
+            node.nc3v = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks (Sections 4.1 / 4.2)
+    # ------------------------------------------------------------------
+
+    def takeover(self, node, instance: SubtxnInstance, kind: str):
+        if kind != TxnKind.NONCOMMUTING:
+            return None
+        if node.nc3v is None:
             raise ProtocolError(
-                f"node {self.node_id}: unexpected message kind {kind!r}"
+                f"node {node.node_id}: non-commuting transaction "
+                f"{instance.txn.name!r} but NC3V is not enabled"
             )
+        return node.nc3v.run_subtxn(instance)
 
-    # ------------------------------------------------------------------
-    # Submission (client-side entry point; no network hop)
-    # ------------------------------------------------------------------
-
-    def submit(self, instance: SubtxnInstance) -> None:
-        """Deliver a root subtransaction directly to this node's mailbox."""
-        if not instance.is_root:
-            raise ProtocolError("submit() is for root subtransactions only")
-        self._mailbox.put(
-            Message(
-                src=self.node_id,
-                dst=self.node_id,
-                kind=MessageKind.SUBTXN_REQUEST,
-                payload=instance,
-                sent_at=self.sim.now,
-                delivered_at=self.sim.now,
-            )
+    def admit_root(self, node, instance: SubtxnInstance, kind: str):
+        version = node.vr if kind == TxnKind.READ else node.vu
+        instance.version = version
+        # Step 1: a root arrival is a request from p to p.
+        node.counters.inc_request(version, node.node_id)
+        node.history.begin_txn(
+            instance.txn.name, kind, version, node.sim.now, node.node_id
         )
+        return None
 
-    # ------------------------------------------------------------------
-    # Subtransaction execution (Sections 4.1 / 4.2)
-    # ------------------------------------------------------------------
+    def on_descendant(self, node, instance: SubtxnInstance, kind: str) -> None:
+        # Step 2: an update descendant from the future is an implicit
+        # start-advancement notification.
+        if kind == TxnKind.UPDATE and instance.version > node.vu:
+            self.advance_update_version(node, instance.version)
 
-    def _classify(self, instance: SubtxnInstance) -> str:
-        if instance.txn.is_read_only:
-            return TxnKind.READ
-        if instance.txn.is_well_behaved:
-            return TxnKind.UPDATE
-        return TxnKind.NONCOMMUTING
+    def pre_execute(self, node, instance: SubtxnInstance, kind: str):
+        # Commute locks (only in mixed NC3V deployments).
+        if node.config.enable_locking and kind == TxnKind.UPDATE:
+            return self._acquire_commute_locks(node, instance)
+        return None
 
-    def _run_subtxn(self, instance: SubtxnInstance):
-        kind = self._classify(instance)
-        if kind == TxnKind.NONCOMMUTING:
-            if self.nc3v is None:
-                raise ProtocolError(
-                    f"node {self.node_id}: non-commuting transaction "
-                    f"{instance.txn.name!r} but NC3V is not enabled"
-                )
-            yield from self.nc3v.run_subtxn(instance)
-            return
-
-        # --- Arrival: version assignment and request accounting -------
-        if instance.is_root:
-            version = self.vr if kind == TxnKind.READ else self.vu
-            instance.version = version
-            # Step 1: a root arrival is a request from p to p.
-            self.counters.inc_request(version, self.node_id)
-            self.history.begin_txn(
-                instance.txn.name, kind, version, self.sim.now, self.node_id
-            )
-        else:
-            version = instance.version
-            # Step 2: an update descendant from the future is an implicit
-            # start-advancement notification.
-            if kind == TxnKind.UPDATE and version > self.vu:
-                self.advance_update_version(version)
-
-        tracker = CompletionTracker(instance)
-        self._trackers[instance.instance_key] = tracker
-
-        # --- Commute locks (only in mixed NC3V deployments) ------------
-        if self.config.enable_locking and kind == TxnKind.UPDATE:
-            yield from self._acquire_commute_locks(instance)
-
-        # --- Local concurrency control ---------------------------------
-        queued_at = self.sim.now
-        yield self.executor.request()
-        self.history.waited(
-            instance.txn.name, WaitReason.EXECUTOR, self.sim.now - queued_at
-        )
-        try:
-            spec = instance.spec
-            service = self.config.op_service.sample(self._service_rng)
-            if spec.ops:
-                yield self.sim.timeout(service * len(spec.ops))
-            tombstoned = self._apply_ops(instance, kind)
-        finally:
-            self.executor.release()
-
-        # --- Scripted abort: roll back and compensate (Section 3.2) ----
-        aborting = (
-            instance.spec.abort_here and not instance.compensating
-            and not tombstoned
-        )
-        if aborting:
-            self._rollback_local(instance)
-            self.history.aborted(instance.txn.name, self.sim.now, "requested")
-            self.history.compensated(instance.txn.name)
-
-        # --- Dispatch (children, or compensation fan-out) ---------------
-        if instance.compensating:
-            self._forward_compensation(instance, tracker, tombstoned)
-        elif aborting:
-            self._spawn_compensators(instance, tracker)
-        elif not tombstoned:
-            self._dispatch_children(instance, tracker)
-
-        # --- Local commit (user-visible; Theorem 4.2: nothing above
-        # waited for any non-local activity) ----------------------------
-        if instance.is_root:
-            self.history.locally_committed(instance.txn.name, self.sim.now)
-
-        if self.config.completion == "immediate":
-            # Section 4.1 step 6, literally: increment C and terminate as
-            # soon as the children have been dispatched.
-            self.counters.inc_completion(instance.version, instance.source_node)
-
-        tracker.executed = True
-        if tracker.complete:
-            self._complete_instance(instance)
-
-    def _apply_ops(self, instance: SubtxnInstance, kind: str) -> bool:
-        """Execute the instance's local operations.
-
-        Returns:
-            ``True`` if the instance was suppressed (tombstoned original, or
-            compensation for a subtransaction that never ran here).
-        """
-        key = instance.instance_key
-        original_key = (instance.txn.name, instance.sid, False)
-        if instance.compensating:
-            if original_key not in self._executed:
-                # Compensation overtook the original: leave a tombstone so
-                # the original becomes a no-op when it arrives.
-                self._tombstones.add(original_key)
-                return True
-            self._apply_inverses(instance)
-            return False
-        if original_key in self._tombstones:
-            # "A compensating subtransaction causes abort of the
-            # corresponding subtransaction if it has not finished."
-            return True
-        version = instance.version
-        # Event objects are built only when the history keeps them; with
-        # detail off (large benchmark runs) reads record just their
-        # (key, value) and writes record nothing, skipping one dataclass
-        # allocation per operation on the hottest loop in the system.
-        detail = self.history.detail
-        store = self.store
-        for op in instance.spec.ops:
-            if isinstance(op, ReadOp):
-                if detail:
-                    used = store.version_max_leq(op.key, version)
-                    value = (
-                        store.get_exact(op.key, used) if used is not None
-                        else None
-                    )
-                    self.history.read(
-                        ReadEvent(
-                            time=self.sim.now,
-                            txn=instance.txn.name,
-                            subtxn=instance.sid,
-                            node=self.node_id,
-                            key=op.key,
-                            version_requested=version,
-                            version_used=used,
-                            value=value,
-                        )
-                    )
-                else:
-                    value = store.read_max_leq(op.key, version, default=None)
-                    self.history.note_read(instance.txn.name, op.key, value)
-            elif isinstance(op, WriteOp):
-                if kind == TxnKind.READ:
-                    raise ProtocolError(
-                        f"read-only transaction {instance.txn.name!r} "
-                        "attempted a write"
-                    )
-                # Step 4: atomically check/create x(V(T)), then update all
-                # versions >= V(T) (the dual-write rule for stragglers).
-                store.ensure_version(op.key, version)
-                if self.config.dual_write:
-                    written = store.apply_geq(op.key, version, op.operation)
-                else:
-                    store.apply_exact(op.key, version, op.operation)
-                    written = (version,)
-                if detail:
-                    self.history.wrote(
-                        WriteEvent(
-                            time=self.sim.now,
-                            txn=instance.txn.name,
-                            subtxn=instance.sid,
-                            node=self.node_id,
-                            key=op.key,
-                            version=version,
-                            versions_written=len(written),
-                            operation=op.operation,
-                            versions=written,
-                        )
-                    )
-        self._executed.add(key)
-        return False
-
-    def _apply_inverses(self, instance: SubtxnInstance) -> None:
-        """Apply the compensating (inverse) writes of a subtransaction."""
-        version = instance.version
-        for op in reversed(instance.spec.ops):
-            if not isinstance(op, WriteOp):
-                continue
-            inverse = op.operation.inverse()
-            self.store.ensure_version(op.key, version)
-            if self.config.dual_write:
-                written = self.store.apply_geq(op.key, version, inverse)
-            else:
-                self.store.apply_exact(op.key, version, inverse)
-                written = (version,)
-            if not self.history.detail:
-                continue
-            self.history.wrote(
-                WriteEvent(
-                    time=self.sim.now,
-                    txn=instance.txn.name,
-                    subtxn=instance.sid,
-                    node=self.node_id,
-                    key=op.key,
-                    version=version,
-                    versions_written=len(written),
-                    operation=inverse,
-                    compensating=True,
-                    versions=written,
-                )
-            )
-
-    def _rollback_local(self, instance: SubtxnInstance) -> None:
-        """An aborting subtransaction rolls back its own local changes."""
-        self._apply_inverses(instance)
-
-    def _acquire_commute_locks(self, instance: SubtxnInstance):
+    def _acquire_commute_locks(self, node, instance: SubtxnInstance):
         """Take CR/CW locks for every op (Section 5; retry-on-die keeps
         well-behaved transactions abort-free)."""
         spec = instance.spec
@@ -416,128 +133,154 @@ class ThreeVNode:
                 requests.append((op.key, LockMode.CW))
             else:
                 requests.append((op.key, LockMode.CR))
-        timestamp = self.history.txns[instance.txn.name].submit_time
+        timestamp = node.history.txns[instance.txn.name].submit_time
         for key, mode in requests:
-            queued_at = self.sim.now
+            queued_at = node.sim.now
             while True:
-                event = self.locks.acquire(key, mode, instance.txn.name, timestamp)
+                event = node.locks.acquire(key, mode, instance.txn.name, timestamp)
                 try:
                     yield event
                 except DeadlockAbort:
                     # Wait-die killed the request; retry after a beat.  The
                     # transaction keeps its other locks (wound-free retry),
                     # and the whole retry loop counts as lock-wait time.
-                    yield self.sim.timeout(
-                        self.rngs.sample("node.lock-retry", self.config.op_service)
+                    yield node.sim.timeout(
+                        node.rngs.sample("node.lock-retry", node.config.op_service)
                     )
                     continue
                 break
-            self.history.waited(
-                instance.txn.name, WaitReason.LOCK, self.sim.now - queued_at
+            node.history.waited(
+                instance.txn.name, WaitReason.LOCK, node.sim.now - queued_at
             )
 
-    # ------------------------------------------------------------------
-    # Dispatch and completion plumbing
-    # ------------------------------------------------------------------
+    def local_service(self, node, instance: SubtxnInstance):
+        spec = instance.spec
+        service = node.config.op_service.sample(node._service_rng)
+        if spec.ops:
+            yield node.sim.timeout(service * len(spec.ops))
 
-    def _dispatch_children(self, instance: SubtxnInstance,
-                           tracker: CompletionTracker) -> None:
-        for child_sid in instance.index.children[instance.sid]:
-            child = instance.child_instance(child_sid, self.node_id)
-            child.notify_key = instance.instance_key
-            target = instance.index.node_of(child_sid)
-            # Step 5: increment the request counter *before* sending.
-            self.counters.inc_request(instance.version, target)
-            tracker.outstanding_children += 1
-            self.network.send(
-                self.node_id, target, MessageKind.SUBTXN_REQUEST, child
-            )
+    def execute_ops(self, node, instance: SubtxnInstance, kind: str) -> None:
+        version = instance.version
+        # Event objects are built only when the history keeps them; with
+        # detail off (large benchmark runs) reads record just their
+        # (key, value) and writes record nothing, skipping one dataclass
+        # allocation per operation on the hottest loop in the system.
+        detail = node.history.detail
+        store = node.store
+        for op in instance.spec.ops:
+            if isinstance(op, ReadOp):
+                if detail:
+                    used = store.version_max_leq(op.key, version)
+                    value = (
+                        store.get_exact(op.key, used) if used is not None
+                        else None
+                    )
+                    node.history.read(
+                        ReadEvent(
+                            time=node.sim.now,
+                            txn=instance.txn.name,
+                            subtxn=instance.sid,
+                            node=node.node_id,
+                            key=op.key,
+                            version_requested=version,
+                            version_used=used,
+                            value=value,
+                        )
+                    )
+                else:
+                    value = store.read_max_leq(op.key, version, default=None)
+                    node.history.note_read(instance.txn.name, op.key, value)
+            elif isinstance(op, WriteOp):
+                if kind == TxnKind.READ:
+                    raise ProtocolError(
+                        f"read-only transaction {instance.txn.name!r} "
+                        "attempted a write"
+                    )
+                # Step 4: atomically check/create x(V(T)), then update all
+                # versions >= V(T) (the dual-write rule for stragglers).
+                store.ensure_version(op.key, version)
+                if node.config.dual_write:
+                    written = store.apply_geq(op.key, version, op.operation)
+                else:
+                    store.apply_exact(op.key, version, op.operation)
+                    written = (version,)
+                if detail:
+                    node.history.wrote(
+                        WriteEvent(
+                            time=node.sim.now,
+                            txn=instance.txn.name,
+                            subtxn=instance.sid,
+                            node=node.node_id,
+                            key=op.key,
+                            version=version,
+                            versions_written=len(written),
+                            operation=op.operation,
+                            versions=written,
+                        )
+                    )
 
-    def _spawn_compensators(self, instance: SubtxnInstance,
-                            tracker: CompletionTracker) -> None:
-        """The aborting subtransaction compensates the already-running part
-        of the tree: its parent's branch.  (Its own children were never
-        dispatched.)"""
-        parent_sid = instance.index.parent[instance.sid]
-        if parent_sid is None:
-            return
-        compensator = instance.compensator(parent_sid, self.node_id)
-        compensator.notify_key = instance.instance_key
-        target = instance.index.node_of(parent_sid)
-        self.counters.inc_request(instance.version, target)
-        tracker.outstanding_children += 1
-        self.network.send(
-            self.node_id, target, MessageKind.COMPENSATION, compensator
-        )
-
-    def _forward_compensation(self, instance: SubtxnInstance,
-                              tracker: CompletionTracker,
-                              tombstoned: bool) -> None:
-        """Propagate compensation to the other tree neighbours."""
-        if tombstoned:
-            # The target never ran here, so nothing below it ran either.
-            return
-        for neighbour_sid in instance.index.neighbours(instance.sid):
-            if neighbour_sid == instance.comp_skip:
+    def apply_inverses(self, node, instance: SubtxnInstance) -> None:
+        version = instance.version
+        for op in reversed(instance.spec.ops):
+            if not isinstance(op, WriteOp):
                 continue
-            compensator = instance.compensator(neighbour_sid, self.node_id)
-            compensator.notify_key = instance.instance_key
-            target = instance.index.node_of(neighbour_sid)
-            self.counters.inc_request(instance.version, target)
-            tracker.outstanding_children += 1
-            self.network.send(
-                self.node_id, target, MessageKind.COMPENSATION, compensator
+            inverse = op.operation.inverse()
+            node.store.ensure_version(op.key, version)
+            if node.config.dual_write:
+                written = node.store.apply_geq(op.key, version, inverse)
+            else:
+                node.store.apply_exact(op.key, version, inverse)
+                written = (version,)
+            if not node.history.detail:
+                continue
+            node.history.wrote(
+                WriteEvent(
+                    time=node.sim.now,
+                    txn=instance.txn.name,
+                    subtxn=instance.sid,
+                    node=node.node_id,
+                    key=op.key,
+                    version=version,
+                    versions_written=len(written),
+                    operation=inverse,
+                    compensating=True,
+                    versions=written,
+                )
             )
 
-    def _complete_instance(self, instance: SubtxnInstance) -> None:
-        """Subtree completion: counter increment (hierarchical mode) plus
-        the upward completion notice."""
-        if self.config.completion != "immediate":
+    # ------------------------------------------------------------------
+    # Counter participation (Section 4.1 steps 5 / 6)
+    # ------------------------------------------------------------------
+
+    def note_request(self, node, version, target: str) -> None:
+        node.counters.inc_request(version, target)
+
+    def on_subtxn_executed(self, node, instance: SubtxnInstance) -> None:
+        if node.config.completion == "immediate":
+            # Section 4.1 step 6, literally: increment C and terminate as
+            # soon as the children have been dispatched.
+            node.counters.inc_completion(instance.version, instance.source_node)
+
+    def on_instance_complete(self, node, instance: SubtxnInstance) -> None:
+        if node.config.completion != "immediate":
             # Step 6: atomically increment C[V(T)][source] and terminate.
             # In hierarchical mode this happens only once every descendant
             # has completed (Table 1's timing).
-            self.counters.inc_completion(instance.version, instance.source_node)
-        del self._trackers[instance.instance_key]
-        notify_key = instance.notify_key
-        if notify_key is None:
-            # Root of the tree: the whole transaction is done.
-            self.history.globally_completed(instance.txn.name, self.sim.now)
-            if self.config.enable_locking and not instance.txn.is_read_only:
-                self._release_locks_everywhere(instance)
-            return
-        parent_node = instance.source_node
-        notice = CompletionNotice(
-            txn_name=instance.txn.name,
-            parent_key=notify_key,
-            child_key=instance.instance_key,
-        )
-        if parent_node == self.node_id:
-            self._on_completion_notice(notice)
-        else:
-            self.network.send(
-                self.node_id, parent_node, MessageKind.COMPLETION_NOTICE, notice
-            )
+            node.counters.inc_completion(instance.version, instance.source_node)
 
-    def _on_completion_notice(self, notice: CompletionNotice) -> None:
-        tracker = self._trackers.get(notice.parent_key)
-        if tracker is None:
-            raise ProtocolError(
-                f"node {self.node_id}: completion notice for unknown "
-                f"instance {notice.parent_key!r}"
-            )
-        tracker.outstanding_children -= 1
-        if tracker.complete:
-            self._complete_instance(tracker.instance)
+    def on_root_complete(self, node, instance: SubtxnInstance) -> None:
+        if node.config.enable_locking and not instance.txn.is_read_only:
+            self._release_locks_everywhere(node, instance)
 
-    def _release_locks_everywhere(self, instance: SubtxnInstance) -> None:
+    def _release_locks_everywhere(self, node, instance: SubtxnInstance) -> None:
         """Asynchronous clean-up phase: release commute locks on every node
         the transaction touched (Section 5)."""
-        for node in instance.txn.nodes:
-            if node == self.node_id:
-                self.locks.release_all(instance.txn.name)
+        for target in instance.txn.nodes:
+            if target == node.node_id:
+                node.locks.release_all(instance.txn.name)
             else:
-                self.network.send(
-                    self.node_id, node, MessageKind.LOCK_RELEASE,
+                node.network.send(
+                    node.node_id, target, MessageKind.LOCK_RELEASE,
                     instance.txn.name,
                 )
 
@@ -545,24 +288,41 @@ class ThreeVNode:
     # Version advancement handlers (node side of Section 4.3)
     # ------------------------------------------------------------------
 
-    def advance_update_version(self, new_version: int) -> None:
+    def advance_update_version(self, node, new_version: int) -> None:
         """Advance ``vu`` (explicit notification or inferred from traffic)."""
-        if new_version <= self.vu:
+        if new_version <= node.vu:
             return
-        for version in range(self.vu + 1, new_version + 1):
-            self.counters.ensure_version(version)
-            self._advanced_to.add(version)
-        self.vu = new_version
+        for version in range(node.vu + 1, new_version + 1):
+            node.counters.ensure_version(version)
+            node._advanced_to.add(version)
+        node.vu = new_version
 
-    def _on_start_advancement(self, message: Message) -> None:
+    def handle_message(self, node, message: Message) -> None:
+        kind = message.kind
+        if kind == MessageKind.START_ADVANCEMENT:
+            self._on_start_advancement(node, message)
+        elif kind == MessageKind.COUNTER_READ:
+            self._on_counter_read(node, message)
+        elif kind == MessageKind.READ_ADVANCE:
+            self._on_read_advance(node, message)
+        elif kind == MessageKind.GARBAGE_COLLECT:
+            self._on_garbage_collect(node, message)
+        elif kind == MessageKind.LOCK_RELEASE:
+            node.locks.release_all(message.payload)
+        elif node.nc3v is not None and node.nc3v.handles(kind):
+            node.nc3v.dispatch(message)
+        else:
+            super().handle_message(node, message)
+
+    def _on_start_advancement(self, node, message: Message) -> None:
         new_version = message.payload
-        self.advance_update_version(new_version)
-        self.network.send(
-            self.node_id, message.src, MessageKind.START_ADVANCEMENT_ACK,
-            (self.node_id, new_version),
+        self.advance_update_version(node, new_version)
+        node.network.send(
+            node.node_id, message.src, MessageKind.START_ADVANCEMENT_ACK,
+            (node.node_id, new_version),
         )
 
-    def _on_counter_read(self, message: Message) -> None:
+    def _on_counter_read(self, node, message: Message) -> None:
         version, which = message.payload
         # Snapshot assembly: the zero-copy views locate the live row, and
         # dict() materializes the point-in-time copy HERE, at the node's
@@ -571,9 +331,9 @@ class ThreeVNode:
         # the moment the node processed the COUNTER_READ (see
         # CounterTable.requests_view).
         if which == "R":
-            snapshot = dict(self.counters.requests_view(version))
+            snapshot = dict(node.counters.requests_view(version))
         elif which == "C":
-            snapshot = dict(self.counters.completions_view(version))
+            snapshot = dict(node.counters.completions_view(version))
         elif which == "ACTIVE":
             # Support for the naive ActivePollDetector ablation: how many
             # subtransactions of this version are *executing right now* —
@@ -581,34 +341,34 @@ class ThreeVNode:
             # whose children are still in transit.
             active = sum(
                 1
-                for tracker in self._trackers.values()
+                for tracker in node._trackers.values()
                 if tracker.instance.version == version and not tracker.executed
             )
-            snapshot = {self.node_id: active}
+            snapshot = {node.node_id: active}
         else:
             raise ProtocolError(f"bad counter read request: {which!r}")
-        self.network.send(
-            self.node_id, message.src, MessageKind.COUNTER_READ_REPLY,
-            (self.node_id, version, which, snapshot),
+        node.network.send(
+            node.node_id, message.src, MessageKind.COUNTER_READ_REPLY,
+            (node.node_id, version, which, snapshot),
         )
 
-    def _on_read_advance(self, message: Message) -> None:
+    def _on_read_advance(self, node, message: Message) -> None:
         new_version = message.payload
-        if new_version > self.vr:
-            self.vr = new_version
-            self.counters.ensure_version(new_version)
-            if self.nc3v is not None:
-                self.nc3v.on_read_advance()
-        self.network.send(
-            self.node_id, message.src, MessageKind.READ_ADVANCE_ACK,
-            (self.node_id, new_version),
+        if new_version > node.vr:
+            node.vr = new_version
+            node.counters.ensure_version(new_version)
+            if node.nc3v is not None:
+                node.nc3v.on_read_advance()
+        node.network.send(
+            node.node_id, message.src, MessageKind.READ_ADVANCE_ACK,
+            (node.node_id, new_version),
         )
 
-    def _on_garbage_collect(self, message: Message) -> None:
+    def _on_garbage_collect(self, node, message: Message) -> None:
         new_read_version = message.payload
-        self.store.collect(new_read_version)
-        self.counters.gc_below(new_read_version)
-        self.network.send(
-            self.node_id, message.src, MessageKind.GARBAGE_COLLECT_ACK,
-            (self.node_id, new_read_version),
+        node.store.collect(new_read_version)
+        node.counters.gc_below(new_read_version)
+        node.network.send(
+            node.node_id, message.src, MessageKind.GARBAGE_COLLECT_ACK,
+            (node.node_id, new_read_version),
         )

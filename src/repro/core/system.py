@@ -20,7 +20,11 @@ This is the main entry point of the library::
     system.advance_versions()
     system.run_until_quiet()
 
-Everything is deterministic for a given seed.
+Everything is deterministic for a given seed.  The node mechanism and the
+``load`` / ``submit`` / ``run*`` surface come from
+:class:`repro.runtime.System`; this subclass adds the 3V-specific pieces —
+the advancement coordinator, the optional advancement policy, and NC3V
+submission checks.
 """
 
 from __future__ import annotations
@@ -28,21 +32,17 @@ from __future__ import annotations
 import typing
 
 from repro.core.advancement import AdvancementCoordinator
-from repro.core.nc3v import NC3VManager
-from repro.core.node import NodeConfig, ThreeVNode
+from repro.core.node import NodeConfig, ThreeVPlugin
 from repro.core.policy import AdvancementPolicy
 from repro.errors import ProtocolError
 from repro.net.latency import LatencyModel
-from repro.net.network import Network
-from repro.sim.distributions import RngRegistry
+from repro.runtime.registry import PROTOCOLS
+from repro.runtime.system import System
 from repro.sim.events import Event
-from repro.sim.simulator import Simulator
-from repro.txn.history import History
-from repro.txn.runtime import SubtxnInstance, TxnIndex
 from repro.txn.spec import TransactionSpec
 
 
-class ThreeVSystem:
+class ThreeVSystem(System):
     """A distributed database cluster running the 3V / NC3V protocols.
 
     Args:
@@ -74,26 +74,11 @@ class ThreeVSystem:
         fifo_links: bool = False,
         policy: typing.Optional[AdvancementPolicy] = None,
     ):
-        if not node_ids:
-            raise ProtocolError("a system needs at least one node")
-        self.sim = Simulator()
-        self.rngs = RngRegistry(seed)
-        self.network = Network(
-            self.sim, rngs=self.rngs, latency=latency, fifo_links=fifo_links
+        super().__init__(
+            node_ids, seed=seed, latency=latency, node_config=node_config,
+            detail=detail, fifo_links=fifo_links,
+            plugin=ThreeVPlugin(allow_noncommuting=allow_noncommuting),
         )
-        self.history = History(detail=detail)
-        self.config = node_config if node_config is not None else NodeConfig()
-        if allow_noncommuting:
-            self.config.enable_locking = True
-        self.nodes: typing.Dict[str, ThreeVNode] = {}
-        for node_id in node_ids:
-            node = ThreeVNode(
-                self.sim, self.network, node_id, self.history,
-                config=self.config, rngs=self.rngs,
-            )
-            if allow_noncommuting:
-                node.nc3v = NC3VManager(node)
-            self.nodes[node_id] = node
         self.coordinator = AdvancementCoordinator(
             self.sim, self.network, list(node_ids), self.history,
             poll_interval=poll_interval, detector=detector,
@@ -105,35 +90,13 @@ class ThreeVSystem:
             self._policy_process = policy.start(
                 self.sim, self.coordinator, self.history
             )
-        self._submitted = 0
 
     # ------------------------------------------------------------------
-    # Data loading and inspection
+    # Inspection and submission
     # ------------------------------------------------------------------
 
-    def load(self, node_id: str, key, value, version: int = 0) -> None:
-        """Install an initial value on a node before (or during) a run."""
-        self.node(node_id).store.load(key, value, version=version)
-
-    def node(self, node_id: str) -> ThreeVNode:
-        try:
-            return self.nodes[node_id]
-        except KeyError:
-            raise ProtocolError(f"unknown node: {node_id!r}") from None
-
-    def value_at(self, node_id: str, key, version: typing.Optional[int] = None):
-        """Read a value directly from a node's store (for tests/inspection).
-
-        With ``version=None``, reads at the node's current read version —
-        what a freshly arriving query would see.
-        """
-        node = self.node(node_id)
-        bound = node.vr if version is None else version
-        return node.store.read_max_leq(key, bound, default=None)
-
-    # ------------------------------------------------------------------
-    # Transaction submission
-    # ------------------------------------------------------------------
+    def current_read_version(self, node) -> int:
+        return node.vr
 
     def submit(self, spec: TransactionSpec) -> None:
         """Submit a transaction now; its root runs at ``spec.root.node``."""
@@ -142,25 +105,7 @@ class ThreeVSystem:
                 f"{spec.name!r} is non-commuting; construct the system with "
                 "allow_noncommuting=True to run it (NC3V)"
             )
-        index = TxnIndex(spec)
-        instance = SubtxnInstance(
-            txn=spec,
-            index=index,
-            sid=index.root_id,
-            version=None,
-            source_node=spec.root.node,
-        )
-        self.node(spec.root.node).submit(instance)
-        self._submitted += 1
-
-    def submit_at(self, time: float, spec: TransactionSpec) -> None:
-        """Schedule a submission at an absolute simulation time."""
-        delay = time - self.sim.now
-        self.sim.schedule(delay, self.submit, spec)
-
-    @property
-    def submitted_count(self) -> int:
-        return self._submitted
+        super().submit(spec)
 
     # ------------------------------------------------------------------
     # Version advancement
@@ -178,33 +123,28 @@ class ThreeVSystem:
     def update_version(self) -> int:
         return self.coordinator.vu
 
-    # ------------------------------------------------------------------
-    # Running
-    # ------------------------------------------------------------------
-
-    def run(self, until: typing.Optional[float] = None) -> None:
-        """Advance the simulation (see :meth:`repro.sim.Simulator.run`)."""
-        self.sim.run(until=until)
-
-    def run_for(self, duration: float) -> None:
-        self.sim.run(until=self.sim.now + duration)
-
-    def run_until_quiet(self, limit: float = float("inf")) -> None:
-        """Run until no scheduled work remains (needs no periodic policy).
-
-        Blocked mailbox reads don't count as scheduled work, so a system
-        with no in-flight transactions or advancement drains naturally.
-        """
-        while self.sim.pending_count:
-            next_time = self.sim.peek_time()
-            if next_time is not None and next_time > limit:
-                raise ProtocolError(
-                    f"system not quiet by simulated time {limit!r}"
-                )
-            self.sim.step()
-
     def stop_policy(self) -> None:
         """Kill the automatic advancement policy (to let the system drain)."""
         if self._policy_process is not None:
             self._policy_process.kill()
             self._policy_process = None
+
+
+def _build_3v(node_ids, *, seed, latency, node_config, detail,
+              advancement_period, safety_delay, poll_interval,
+              allow_noncommuting):
+    from repro.core.policy import PeriodicPolicy
+
+    return ThreeVSystem(
+        node_ids, seed=seed, latency=latency, node_config=node_config,
+        poll_interval=poll_interval, detail=detail,
+        allow_noncommuting=allow_noncommuting,
+        policy=PeriodicPolicy(advancement_period),
+    )
+
+
+PROTOCOLS.register(
+    "3v", _build_3v, order=0, strict_audit=True,
+    description="the paper's 3V multiversioning protocol (NC3V when "
+                "corrections are present)",
+)

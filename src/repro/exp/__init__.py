@@ -30,6 +30,7 @@ from repro.exp.spec import (
     PARAMETERS_BY_FLAG,
     ExperimentSpec,
     Parameter,
+    known_protocols,
     parse_parameter_value,
 )
 from repro.exp.summary import ExperimentSummary, run_spec, summarize
@@ -53,6 +54,7 @@ __all__ = [
     "code_fingerprint",
     "expand_grid",
     "flatten_specs",
+    "known_protocols",
     "parse_parameter_value",
     "run_spec",
     "summarize",

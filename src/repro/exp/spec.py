@@ -77,6 +77,18 @@ PARAMETERS_BY_FLAG: typing.Dict[str, Parameter] = {
 }
 
 
+def known_protocols() -> typing.Tuple[str, ...]:
+    """The runnable protocol names, from the runtime registry.
+
+    Imported lazily so building/pickling a spec never loads the protocol
+    stacks; specs deliberately accept *any* protocol string — an unknown
+    one fails at run time in the worker, where the fleet can report it.
+    """
+    from repro.runtime.registry import PROTOCOLS
+
+    return tuple(PROTOCOLS)
+
+
 def parse_parameter_value(flag: str, text: str) -> typing.Union[int, float]:
     """Parse one swept value with the parameter's exact type.
 

@@ -1,0 +1,19 @@
+"""Aggregator that registers every built-in protocol.
+
+Importing this module populates :data:`repro.runtime.PROTOCOLS`; the
+registry imports it lazily (by name) on first lookup, so the runtime
+package itself never depends on any protocol package.  Third-party
+protocols register themselves the same way these do::
+
+    from repro.runtime import PROTOCOLS
+
+    PROTOCOLS.register("mine", build_my_system, order=50,
+                       description="...")
+"""
+
+from __future__ import annotations
+
+import repro.baselines.manual  # noqa: F401  (registers manual, manual-sync)
+import repro.baselines.nocoord  # noqa: F401  (registers nocoord)
+import repro.baselines.twopc  # noqa: F401  (registers 2pc)
+import repro.core.system  # noqa: F401  (registers 3v)

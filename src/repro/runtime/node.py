@@ -1,0 +1,276 @@
+"""`ProtocolNode` — the one database node every protocol runs on.
+
+The node owns the mechanism every protocol shares: the mailbox loop, the
+local executor, completion trackers and hierarchical completion notices,
+and compensation routing (Section 3.2's tree-edge propagation, including
+the tombstone rule for compensation that overtakes its target).  All
+protocol policy — version assignment, counters, locks, control messages —
+lives in the system's :class:`~repro.runtime.plugin.ProtocolPlugin`.
+
+The user-visible commitment of a subtransaction happens right after its
+local operations and child dispatch (no waiting for anything non-local:
+Theorem 4.2).  *Completion* bookkeeping is delegated to plugin hooks so 3V
+can implement both the hierarchical (Table 1) and the literal-step-6
+"immediate" counter timing.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ProtocolError
+from repro.net.message import Message, MessageKind
+from repro.sim.resources import Resource
+from repro.storage.locktable import LockTable
+from repro.txn.history import WaitReason
+from repro.txn.runtime import CompletionNotice, CompletionTracker, SubtxnInstance
+
+
+class ProtocolNode:
+    """One database node, specialised by the system's protocol plugin."""
+
+    def __init__(self, system, node_id: str):
+        self.system = system
+        self.sim = system.sim
+        self.network = system.network
+        self.history = system.history
+        self.config = system.config
+        self.rngs = system.rngs
+        self.plugin = system.plugin
+        self.node_id = node_id
+
+        self.store = self.plugin.make_store(self)
+        self.locks = LockTable(self.sim)
+        self.executor = Resource(self.sim, capacity=self.config.executor_capacity)
+
+        #: In-flight completion trackers, keyed by instance key.
+        self._trackers: typing.Dict[tuple, CompletionTracker] = {}
+        #: Subtransactions whose ops ran here (needed by compensation).
+        self._executed: typing.Set[tuple] = set()
+        #: Compensation that arrived before its target subtransaction.
+        self._tombstones: typing.Set[tuple] = set()
+
+        # The service-time stream is drawn from on every subtransaction;
+        # binding it once avoids the registry lookup per draw (stream seeds
+        # are name-derived, so early binding does not perturb any draws).
+        self._service_rng = self.rngs.stream("node.service")
+
+        self._mailbox = self.network.register(node_id)
+        self._main = self.sim.process(self._run(), name=f"node-{node_id}")
+
+        self.plugin.init_node(self)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _run(self):
+        while True:
+            message = yield self._mailbox.get()
+            self._dispatch(message)
+
+    def _dispatch(self, message: Message) -> None:
+        kind = message.kind
+        if kind == MessageKind.SUBTXN_REQUEST or kind == MessageKind.COMPENSATION:
+            instance = message.payload
+            self.sim.process(
+                self.run_subtxn(instance),
+                name=f"{self.node_id}:{instance.sid}",
+            )
+        elif kind == MessageKind.COMPLETION_NOTICE:
+            self._on_completion_notice(message.payload)
+        else:
+            self.plugin.handle_message(self, message)
+
+    # ------------------------------------------------------------------
+    # Submission (client-side entry point; no network hop)
+    # ------------------------------------------------------------------
+
+    def submit(self, instance: SubtxnInstance) -> None:
+        """Deliver a root subtransaction directly to this node's mailbox."""
+        if not instance.is_root:
+            raise ProtocolError("submit() is for root subtransactions only")
+        self._mailbox.put(
+            Message(
+                src=self.node_id,
+                dst=self.node_id,
+                kind=MessageKind.SUBTXN_REQUEST,
+                payload=instance,
+                sent_at=self.sim.now,
+                delivered_at=self.sim.now,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Subtransaction execution (Sections 4.1 / 4.2 mechanism)
+    # ------------------------------------------------------------------
+
+    def run_subtxn(self, instance: SubtxnInstance):
+        plugin = self.plugin
+        kind = plugin.classify(instance)
+
+        # A plugin may divert this transaction class into its own
+        # lifecycle (NC3V's and 2PC's two-phase-commit engine).
+        takeover = plugin.takeover(self, instance, kind)
+        if takeover is not None:
+            yield from takeover
+            return
+
+        # --- Arrival: version assignment and request accounting -------
+        if instance.is_root:
+            gate = plugin.admit_root(self, instance, kind)
+            if gate is not None:
+                yield from gate
+        else:
+            plugin.on_descendant(self, instance, kind)
+
+        tracker = CompletionTracker(instance)
+        self._trackers[instance.instance_key] = tracker
+
+        # --- Protocol work before the executor (e.g. commute locks) ----
+        pre = plugin.pre_execute(self, instance, kind)
+        if pre is not None:
+            yield from pre
+
+        # --- Local concurrency control ---------------------------------
+        queued_at = self.sim.now
+        yield self.executor.request()
+        self.history.waited(
+            instance.txn.name, WaitReason.EXECUTOR, self.sim.now - queued_at
+        )
+        try:
+            yield from plugin.local_service(self, instance)
+            tombstoned = self._apply_ops(instance, kind)
+        finally:
+            self.executor.release()
+
+        # --- Scripted abort: roll back and compensate (Section 3.2) ----
+        aborting = (
+            instance.spec.abort_here and not instance.compensating
+            and not tombstoned
+        )
+        if aborting:
+            plugin.apply_inverses(self, instance)
+            self.history.aborted(instance.txn.name, self.sim.now, "requested")
+            self.history.compensated(instance.txn.name)
+
+        # --- Dispatch (children, or compensation fan-out) ---------------
+        if instance.compensating:
+            if not tombstoned:
+                self._fan_out_compensation(
+                    instance, tracker, skip=instance.comp_skip
+                )
+        elif aborting:
+            parent_sid = instance.index.parent[instance.sid]
+            if parent_sid is not None:
+                self._send_compensator(instance, tracker, parent_sid)
+        elif not tombstoned:
+            self._dispatch_children(instance, tracker)
+
+        # --- Local commit (user-visible; Theorem 4.2: nothing above
+        # waited for any non-local activity) ----------------------------
+        if instance.is_root:
+            self.history.locally_committed(instance.txn.name, self.sim.now)
+
+        plugin.on_subtxn_executed(self, instance)
+
+        tracker.executed = True
+        if tracker.complete:
+            self._complete_instance(instance)
+
+    def _apply_ops(self, instance: SubtxnInstance, kind: str) -> bool:
+        """Execute the instance's local operations.
+
+        Returns:
+            ``True`` if the instance was suppressed (tombstoned original, or
+            compensation for a subtransaction that never ran here).
+        """
+        original_key = (instance.txn.name, instance.sid, False)
+        if instance.compensating:
+            if original_key not in self._executed:
+                # Compensation overtook the original: leave a tombstone so
+                # the original becomes a no-op when it arrives.
+                self._tombstones.add(original_key)
+                return True
+            self.plugin.apply_inverses(self, instance)
+            return False
+        if original_key in self._tombstones:
+            # "A compensating subtransaction causes abort of the
+            # corresponding subtransaction if it has not finished."
+            return True
+        self.plugin.execute_ops(self, instance, kind)
+        self._executed.add(instance.instance_key)
+        return False
+
+    # ------------------------------------------------------------------
+    # Dispatch and completion plumbing
+    # ------------------------------------------------------------------
+
+    def _dispatch_children(self, instance: SubtxnInstance,
+                           tracker: CompletionTracker) -> None:
+        plugin = self.plugin
+        for child_sid in instance.index.children[instance.sid]:
+            child = instance.child_instance(child_sid, self.node_id)
+            child.notify_key = instance.instance_key
+            target = instance.index.node_of(child_sid)
+            # Step 5: request accounting happens *before* sending.
+            plugin.note_request(self, instance.version, target)
+            tracker.outstanding_children += 1
+            self.network.send(
+                self.node_id, target, MessageKind.SUBTXN_REQUEST, child
+            )
+
+    def _send_compensator(self, instance: SubtxnInstance,
+                          tracker: CompletionTracker, target_sid: str) -> None:
+        compensator = instance.compensator(target_sid, self.node_id)
+        compensator.notify_key = instance.instance_key
+        target = instance.index.node_of(target_sid)
+        self.plugin.note_request(self, instance.version, target)
+        tracker.outstanding_children += 1
+        self.network.send(
+            self.node_id, target, MessageKind.COMPENSATION, compensator
+        )
+
+    def _fan_out_compensation(self, instance: SubtxnInstance,
+                              tracker: CompletionTracker, skip) -> None:
+        """Propagate compensation to the other tree neighbours."""
+        for neighbour_sid in instance.index.neighbours(instance.sid):
+            if neighbour_sid != skip:
+                self._send_compensator(instance, tracker, neighbour_sid)
+
+    def _complete_instance(self, instance: SubtxnInstance) -> None:
+        """Subtree completion: plugin accounting plus the upward notice."""
+        self.plugin.on_instance_complete(self, instance)
+        del self._trackers[instance.instance_key]
+        if instance.notify_key is None:
+            # Root of the tree: the whole transaction is done.
+            self.history.globally_completed(instance.txn.name, self.sim.now)
+            self.plugin.on_root_complete(self, instance)
+            return
+        notice = CompletionNotice(
+            txn_name=instance.txn.name,
+            parent_key=instance.notify_key,
+            child_key=instance.instance_key,
+        )
+        if instance.source_node == self.node_id:
+            self._on_completion_notice(notice)
+        else:
+            self.network.send(
+                self.node_id, instance.source_node,
+                MessageKind.COMPLETION_NOTICE, notice,
+            )
+
+    def _on_completion_notice(self, notice: CompletionNotice) -> None:
+        tracker = self._trackers.get(notice.parent_key)
+        if tracker is None:
+            raise ProtocolError(
+                f"node {self.node_id}: completion notice for unknown "
+                f"instance {notice.parent_key!r}"
+            )
+        tracker.outstanding_children -= 1
+        if tracker.complete:
+            self._complete_instance(tracker.instance)
+
+    @property
+    def active_subtxns(self) -> int:
+        return len(self._trackers)

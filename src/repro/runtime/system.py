@@ -1,0 +1,147 @@
+"""`System` — the uniform facade every protocol is driven through.
+
+One class ties the simulator, RNG registry, network, history, and nodes
+together; protocol subclasses add their coordinator machinery on top but
+the driving surface — ``load`` / ``submit`` / ``submit_at`` / ``run`` /
+``run_for`` / ``run_until_quiet(limit=)`` / ``stop_policy()`` — is
+identical across all of them, so benchmarks, the experiment fleet, and the
+analysis package can treat any system interchangeably.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import ProtocolError
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.runtime.config import NodeConfig
+from repro.runtime.node import ProtocolNode
+from repro.runtime.plugin import ProtocolPlugin
+from repro.sim.distributions import RngRegistry
+from repro.sim.simulator import Simulator
+from repro.txn.history import History
+from repro.txn.runtime import SubtxnInstance, TxnIndex
+from repro.txn.spec import TransactionSpec
+
+
+class System:
+    """A distributed database cluster running one protocol plugin.
+
+    Args:
+        node_ids: Names of the database nodes.
+        seed: Master seed for all randomness (latencies, service times).
+        latency: Network latency model (default: constant 1.0).
+        node_config: Shared per-node tunables.
+        detail: Record per-operation events in the history (turn off for
+            very large benchmark runs).
+        fifo_links: Enforce per-link FIFO message delivery.
+        plugin: Protocol plugin instance (default: ``plugin_class()``).
+    """
+
+    #: Plugin built when the ``plugin`` argument is omitted.
+    plugin_class: typing.Type[ProtocolPlugin] = ProtocolPlugin
+
+    def __init__(
+        self,
+        node_ids: typing.Sequence[str],
+        seed: int = 0,
+        latency: typing.Optional[LatencyModel] = None,
+        node_config: typing.Optional[NodeConfig] = None,
+        detail: bool = True,
+        fifo_links: bool = False,
+        plugin: typing.Optional[ProtocolPlugin] = None,
+    ):
+        if not node_ids:
+            raise ProtocolError("a system needs at least one node")
+        self.sim = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.network = Network(
+            self.sim, rngs=self.rngs, latency=latency, fifo_links=fifo_links
+        )
+        self.history = History(detail=detail)
+        self.config = node_config if node_config is not None else NodeConfig()
+        self.plugin = plugin if plugin is not None else self.plugin_class()
+        self.plugin.bind(self)
+        self.nodes: typing.Dict[str, ProtocolNode] = {
+            node_id: ProtocolNode(self, node_id) for node_id in node_ids
+        }
+        self._submitted = 0
+
+    # ------------------------------------------------------------------
+    # Data loading and inspection
+    # ------------------------------------------------------------------
+
+    def load(self, node_id: str, key, value, version: int = 0) -> None:
+        """Install an initial value on a node before (or during) a run."""
+        self.node(node_id).store.load(key, value, version=version)
+
+    def node(self, node_id: str) -> ProtocolNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise ProtocolError(f"unknown node: {node_id!r}") from None
+
+    def value_at(self, node_id: str, key, version: typing.Optional[int] = None):
+        """Read a value directly from a node's store (for tests/inspection).
+
+        With ``version=None``, reads at the node's current read version —
+        what a freshly arriving query would see.
+        """
+        node = self.node(node_id)
+        bound = self.current_read_version(node) if version is None else version
+        return node.store.read_max_leq(key, bound, default=None)
+
+    def current_read_version(self, node: ProtocolNode) -> int:
+        """What version a query arriving now would use (hook)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Transaction submission
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: TransactionSpec) -> None:
+        """Submit a transaction now; its root runs at ``spec.root.node``."""
+        index = TxnIndex(spec)
+        instance = SubtxnInstance(
+            txn=spec, index=index, sid=index.root_id, version=None,
+            source_node=spec.root.node,
+        )
+        self.node(spec.root.node).submit(instance)
+        self._submitted += 1
+
+    def submit_at(self, time: float, spec: TransactionSpec) -> None:
+        """Schedule a submission at an absolute simulation time."""
+        self.sim.schedule(time - self.sim.now, self.submit, spec)
+
+    @property
+    def submitted_count(self) -> int:
+        return self._submitted
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, until: typing.Optional[float] = None) -> None:
+        """Advance the simulation (see :meth:`repro.sim.Simulator.run`)."""
+        self.sim.run(until=until)
+
+    def run_for(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_until_quiet(self, limit: float = float("inf")) -> None:
+        """Run until no scheduled work remains (needs no periodic policy).
+
+        Blocked mailbox reads don't count as scheduled work, so a system
+        with no in-flight transactions or advancement drains naturally.
+        """
+        while self.sim.pending_count:
+            next_time = self.sim.peek_time()
+            if next_time is not None and next_time > limit:
+                raise ProtocolError(
+                    f"system not quiet by simulated time {limit!r}"
+                )
+            self.sim.step()
+
+    def stop_policy(self) -> None:
+        """Kill any automatic driver so the system can drain (no-op here)."""

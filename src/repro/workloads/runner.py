@@ -12,20 +12,26 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.baselines.manual import ManualVersioningSystem
-from repro.baselines.nocoord import NoCoordSystem
-from repro.baselines.twopc import TwoPCSystem
-from repro.core.node import NodeConfig
-from repro.core.policy import PeriodicPolicy
-from repro.core.system import ThreeVSystem
-from repro.errors import ReproError
 from repro.net.latency import LatencyModel, UniformLatency
+from repro.runtime.config import NodeConfig
+from repro.runtime.registry import PROTOCOLS
 from repro.sim.distributions import Constant, RngRegistry, Uniform
 from repro.workloads.arrivals import drive, poisson_arrivals
 from repro.workloads.recording import RecordingConfig, RecordingWorkload
 
-#: Valid protocol names.
-PROTOCOLS = ("3v", "nocoord", "manual", "manual-sync", "2pc")
+__all__ = [
+    "PROTOCOLS",
+    "ExperimentResult",
+    "build_system",
+    "default_latency",
+    "run_recording_experiment",
+]
+
+# ``PROTOCOLS`` is re-exported here for the historic import path
+# (``from repro.workloads import PROTOCOLS``); it is the live registry, so
+# iteration / membership / ``', '.join(...)`` keep working as they did on
+# the old hand-maintained tuple, and newly registered protocols appear
+# automatically.
 
 
 def default_latency() -> LatencyModel:
@@ -65,41 +71,19 @@ def build_system(
     executor_capacity: int = 1,
     poll_interval: float = 0.5,
 ):
-    """Instantiate one of the five systems behind a uniform interface."""
+    """Instantiate any registered protocol behind a uniform interface."""
     if latency is None:
         latency = default_latency()
     config = NodeConfig(
         op_service=Constant(op_service),
         executor_capacity=executor_capacity,
     )
-    if protocol == "3v":
-        return ThreeVSystem(
-            node_ids, seed=seed, latency=latency, node_config=config,
-            poll_interval=poll_interval, detail=detail,
-            allow_noncommuting=allow_noncommuting,
-            policy=PeriodicPolicy(advancement_period),
-        )
-    if protocol == "nocoord":
-        return NoCoordSystem(
-            node_ids, seed=seed, latency=latency, node_config=config,
-            detail=detail,
-        )
-    if protocol == "manual":
-        return ManualVersioningSystem(
-            node_ids, period=advancement_period, safety_delay=safety_delay,
-            seed=seed, latency=latency, node_config=config, detail=detail,
-        )
-    if protocol == "manual-sync":
-        return ManualVersioningSystem(
-            node_ids, period=advancement_period, synchronous=True,
-            seed=seed, latency=latency, node_config=config, detail=detail,
-        )
-    if protocol == "2pc":
-        return TwoPCSystem(
-            node_ids, seed=seed, latency=latency, node_config=config,
-            detail=detail,
-        )
-    raise ReproError(f"unknown protocol {protocol!r}; pick from {PROTOCOLS}")
+    return PROTOCOLS.build(
+        protocol, node_ids, seed=seed, latency=latency, node_config=config,
+        detail=detail, advancement_period=advancement_period,
+        safety_delay=safety_delay, poll_interval=poll_interval,
+        allow_noncommuting=allow_noncommuting,
+    )
 
 
 def run_recording_experiment(

@@ -1,0 +1,86 @@
+"""The import-layering lint is a tier-1 gate: the tree must stay clean,
+and the checker itself must actually catch violations (a lint that never
+fires is indistinguishable from no lint)."""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_layering.py")
+
+
+def run_checker(*argv):
+    return subprocess.run(
+        [sys.executable, CHECKER, *argv],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+
+
+def seed_tree(root, files):
+    for relative, body in files.items():
+        path = os.path.join(root, relative)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(body)
+
+
+def test_repository_layering_is_clean():
+    result = run_checker()
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "layering check OK" in result.stdout
+
+
+def test_detects_runtime_importing_a_plugin(tmp_path):
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/runtime/__init__.py": "from repro.core.node import ThreeVPlugin\n",
+        "repro/core/__init__.py": "",
+        "repro/core/node.py": "ThreeVPlugin = object\n",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 1
+    assert "runtime imports higher layer" in result.stdout
+
+
+def test_detects_plugins_importing_each_other(tmp_path):
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/baselines/__init__.py": "",
+        "repro/baselines/nocoord.py": "import repro.baselines.twopc\n",
+        "repro/baselines/twopc.py": "",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 1
+    assert "imports peer group" in result.stdout
+
+
+def test_relative_imports_are_resolved(tmp_path):
+    # "from ..core import node" inside a baseline is still a peer import
+    # even though no absolute module name appears in the source.
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/core/__init__.py": "",
+        "repro/core/node.py": "",
+        "repro/baselines/__init__.py": "",
+        "repro/baselines/manual.py": "from ..core import node\n",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 1
+    assert "imports peer group" in result.stdout
+
+
+def test_compat_shim_and_aggregator_are_allowed(tmp_path):
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/protocols.py": (
+            "import repro.core.node\nimport repro.baselines.twopc\n"
+        ),
+        "repro/core/__init__.py": "",
+        "repro/core/node.py": "from repro.baselines.base import BaselineNode\n",
+        "repro/baselines/__init__.py": "",
+        "repro/baselines/base.py": "",
+        "repro/baselines/twopc.py": "from repro.baselines import base\n",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 0, result.stdout + result.stderr
