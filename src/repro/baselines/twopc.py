@@ -64,6 +64,9 @@ class TwoPCPlugin(ProtocolPlugin):
         else:
             super().handle_message(node, message)
 
+    def on_recover(self, node) -> None:
+        node.twophase.on_recover()
+
 
 class TwoPCSystem(System):
     """A cluster where every transaction is a full distributed transaction.
@@ -117,10 +120,10 @@ def _rename(spec: TransactionSpec, new_name: str) -> TransactionSpec:
 
 def _build_2pc(node_ids, *, seed, latency, node_config, detail,
                advancement_period, safety_delay, poll_interval,
-               allow_noncommuting):
+               allow_noncommuting, faults=None):
     return TwoPCSystem(
         node_ids, seed=seed, latency=latency, node_config=node_config,
-        detail=detail,
+        detail=detail, faults=faults,
     )
 
 

@@ -7,6 +7,8 @@ Five commands cover the common workflows without writing any code:
 * ``sweep``    — vary any experiment parameter on one protocol;
 * ``grid``     — multi-parameter × multi-seed grids with per-cell
   aggregation;
+* ``chaos``    — seeded fault storms (message loss, duplication, node
+  crashes) across protocols, with convergence and agreement checks;
 * ``paper``    — replay the paper's Table 1 / Figure 2 example.
 
 ``compare``, ``sweep``, and ``grid`` run their independent simulations
@@ -249,6 +251,63 @@ def cmd_grid(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.exp import chaos_spec, run_chaos_spec
+
+    unknown = [p for p in args.protocols if p not in PROTOCOLS]
+    if unknown:
+        print(f"unknown protocol(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(PROTOCOLS)}")
+        return 2
+    protocols = args.protocols or list(PROTOCOLS)
+    table = Table(
+        f"Chaos: {args.duration:g}s on {args.nodes} nodes, "
+        f"drop={args.drop_rate:g} dup={args.dup_rate:g} "
+        f"crashes={args.crash_count}/node (fault seed {args.fault_seed})",
+        ["system", "dropped", "dup'd", "retx", "dedup", "crash/rec",
+         "entities", "agree", "oracle", "repeat", "verdict"],
+    )
+    failed = []
+    for protocol in protocols:
+        spec = chaos_spec(
+            protocol, nodes=args.nodes, duration=args.duration,
+            drop_rate=args.drop_rate, dup_rate=args.dup_rate,
+            crash_count=args.crash_count, fault_seed=args.fault_seed,
+            seed=args.seed,
+        )
+        report = run_chaos_spec(spec, verify_repeat=not args.no_repeat,
+                                drain_limit=args.drain_limit)
+        s = report.summary
+        if report.repeat_identical is None:
+            repeat = "-"
+        else:
+            repeat = "yes" if report.repeat_identical else "NO"
+        table.add(
+            protocol,
+            s.messages_dropped if s else "-",
+            s.messages_duplicated if s else "-",
+            s.retransmits if s else "-",
+            s.dup_suppressed if s else "-",
+            f"{s.crashes}/{s.recoveries}" if s else "-",
+            report.entities_checked,
+            report.entities_checked - report.disagreements,
+            "ok" if report.oracle_mismatches == 0 else
+            f"{report.oracle_mismatches} BAD",
+            repeat,
+            "ok" if report.ok else "FAILED",
+        )
+        if not report.ok:
+            failed.append(report)
+    table.print()
+    for report in failed:
+        for failure in report.failures:
+            print(f"{report.protocol}: {failure}")
+    if failed:
+        return 1
+    print("chaos: all protocols converged, stores agree, audits clean")
+    return 0
+
+
 def cmd_paper(args) -> int:
     from repro.workloads.paper_example import expected_final_state, run_example
 
@@ -332,6 +391,40 @@ def build_parser() -> argparse.ArgumentParser:
     _experiment_arguments(grid_parser)
     _fleet_arguments(grid_parser)
     grid_parser.set_defaults(handler=cmd_grid)
+
+    chaos_parser = commands.add_parser(
+        "chaos", help="run seeded fault storms across protocols and check "
+                      "convergence, store agreement, and repeatability",
+    )
+    chaos_parser.add_argument(
+        "protocols", nargs="*", default=[], metavar="protocol",
+        help=f"protocols to storm (default: all; "
+             f"choices: {', '.join(PROTOCOLS)})",
+    )
+    chaos_parser.add_argument("--nodes", type=int, default=3,
+                              help="number of database nodes (default 3)")
+    chaos_parser.add_argument("--duration", type=float, default=20.0,
+                              help="simulated seconds of traffic "
+                                   "(default 20)")
+    chaos_parser.add_argument("--drop-rate", type=float, default=0.05,
+                              help="per-link drop probability "
+                                   "(default 0.05)")
+    chaos_parser.add_argument("--dup-rate", type=float, default=0.02,
+                              help="per-link duplication probability "
+                                   "(default 0.02)")
+    chaos_parser.add_argument("--crash-count", type=int, default=1,
+                              help="crash/recover cycles per node "
+                                   "(default 1)")
+    chaos_parser.add_argument("--fault-seed", type=int, default=7,
+                              help="fault schedule seed (default 7)")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="workload seed (default 0)")
+    chaos_parser.add_argument("--no-repeat", action="store_true",
+                              help="skip the repeatability double-run")
+    chaos_parser.add_argument("--drain-limit", type=float, default=100000.0,
+                              help="simulated-time budget for post-storm "
+                                   "convergence (default 100000)")
+    chaos_parser.set_defaults(handler=cmd_chaos)
 
     paper_parser = commands.add_parser(
         "paper", help="replay the paper's Table 1 / Figure 2 example"

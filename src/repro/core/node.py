@@ -72,7 +72,21 @@ class ThreeVPlugin(ProtocolPlugin):
         return node.config.store_factory()
 
     def init_node(self, node) -> None:
-        node.counters = CounterTable(node.node_id)
+        counters = CounterTable(node.node_id)
+        if node.journal is not None:
+            # Fault-injected runs: counter mutations are write-ahead
+            # journaled alongside the store, so a crash loses no
+            # request/completion increments (the paper's Section 6
+            # "standard logging techniques" for the counter state the
+            # termination-detection proof depends on).
+            from repro.storage.wal import JournaledCounters
+
+            node_id = node.node_id
+            counters = JournaledCounters(
+                counters, lambda: CounterTable(node_id)
+            )
+            node.journal.attach("counters", counters)
+        node.counters = counters
         node.vu = node.config.initial_update_version
         node.vr = node.config.initial_read_version
         node.counters.ensure_version(node.vr)
@@ -86,6 +100,19 @@ class ThreeVPlugin(ProtocolPlugin):
             node.nc3v = NC3VManager(node)
         else:
             node.nc3v = None
+
+    def on_recover(self, node) -> None:
+        # The journal replay restored the counter tables and the store;
+        # vu/vr and the advancement bookkeeping are checkpointed control
+        # state.  Re-ensure the rows of the active version window
+        # (defensive against a crash landing between a version bump and
+        # its ensure_version) and re-check NC3V's admission gate so any
+        # gated roots re-evaluate against the recovered state.
+        for version in range(node.vr, node.vu + 1):
+            node.counters.ensure_version(version)
+        if node.nc3v is not None:
+            node.nc3v.on_recover()
+            node.nc3v.on_read_advance()
 
     # ------------------------------------------------------------------
     # Lifecycle hooks (Sections 4.1 / 4.2)

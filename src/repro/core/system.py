@@ -73,11 +73,13 @@ class ThreeVSystem(System):
         detail: bool = True,
         fifo_links: bool = False,
         policy: typing.Optional[AdvancementPolicy] = None,
+        faults=None,
     ):
         super().__init__(
             node_ids, seed=seed, latency=latency, node_config=node_config,
             detail=detail, fifo_links=fifo_links,
             plugin=ThreeVPlugin(allow_noncommuting=allow_noncommuting),
+            faults=faults,
         )
         self.coordinator = AdvancementCoordinator(
             self.sim, self.network, list(node_ids), self.history,
@@ -132,14 +134,14 @@ class ThreeVSystem(System):
 
 def _build_3v(node_ids, *, seed, latency, node_config, detail,
               advancement_period, safety_delay, poll_interval,
-              allow_noncommuting):
+              allow_noncommuting, faults=None):
     from repro.core.policy import PeriodicPolicy
 
     return ThreeVSystem(
         node_ids, seed=seed, latency=latency, node_config=node_config,
         poll_interval=poll_interval, detail=detail,
         allow_noncommuting=allow_noncommuting,
-        policy=PeriodicPolicy(advancement_period),
+        policy=PeriodicPolicy(advancement_period), faults=faults,
     )
 
 

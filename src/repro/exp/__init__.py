@@ -11,6 +11,7 @@
   multi-seed studies with per-cell aggregation.
 """
 
+from repro.exp.chaos import ChaosReport, chaos_spec, run_chaos, run_chaos_spec
 from repro.exp.cache import (
     DEFAULT_CACHE_DIR,
     CacheStats,
@@ -40,6 +41,8 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "CacheStats",
     "CellAggregate",
+    "ChaosReport",
+    "chaos_spec",
     "ExperimentSpec",
     "ExperimentSummary",
     "Fleet",
@@ -56,6 +59,8 @@ __all__ = [
     "flatten_specs",
     "known_protocols",
     "parse_parameter_value",
+    "run_chaos",
+    "run_chaos_spec",
     "run_spec",
     "summarize",
 ]

@@ -1,0 +1,241 @@
+"""The deterministic chaos harness (``repro chaos``).
+
+A *chaos run* drives the standard recording workload through a protocol
+while a seeded :class:`repro.faults.FaultPlan` storm drops and duplicates
+messages and crash/recovers nodes, then audits the wreckage:
+
+* **Convergence** — the system drains to quiescence within the drain
+  limit (the reliable-delivery layer never gives up, so a protocol that
+  cannot converge under loss hangs the drain and fails here).
+* **Store agreement** — after the drain, every entity's summary value is
+  identical on every node the entity spans: exactly-once delivery plus
+  crash-recovery replay must leave no replica behind.
+* **Oracle check** — in ``"bitmask"`` mode each replica's final value
+  must decompose to exactly the set of committed recording transactions
+  (:meth:`RecordingWorkload.committed_mask`): nothing lost, nothing
+  applied twice.
+* **Audit** — the serializability audit verdict, held to the strict
+  standard for protocols registered ``strict_audit``.
+* **Repeatability** — an optional second run with the same workload and
+  fault seeds must produce a bit-identical determinism digest: the storm
+  is part of the simulation, not noise on top of it.
+
+Everything reduces to a flat :class:`ChaosReport` per protocol; a run
+that violates any property lists human-readable ``failures`` rather than
+raising, so ``repro chaos`` can print the whole scorecard before setting
+its exit status.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.analysis import audit
+from repro.runtime.registry import PROTOCOLS
+from repro.workloads.recording import balance_key
+from repro.workloads.runner import run_recording_experiment
+
+from repro.exp.spec import ExperimentSpec
+from repro.exp.summary import ExperimentSummary, summarize
+
+__all__ = ["ChaosReport", "chaos_spec", "run_chaos", "run_chaos_spec"]
+
+#: Version bound that sees every installed version of a key.
+_ANY_VERSION = 1 << 60
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosReport:
+    """Scorecard of one protocol's chaos run."""
+
+    protocol: str
+    #: ``None`` only when the run itself raised before completion.
+    summary: typing.Optional[ExperimentSummary]
+    #: Entity replica groups compared for agreement.
+    entities_checked: int
+    #: Entities whose replicas disagreed after the drain.
+    disagreements: int
+    #: Entities whose agreed value did not match the committed-mask
+    #: oracle (bitmask mode only; 0 otherwise).
+    oracle_mismatches: int
+    #: Whether a second identically-seeded run reproduced the digest
+    #: (``None`` when repeatability was not verified).
+    repeat_identical: typing.Optional[bool]
+    #: Human-readable descriptions of every violated property.
+    failures: typing.Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def chaos_spec(
+    protocol: str,
+    *,
+    nodes: int = 3,
+    duration: float = 20.0,
+    drop_rate: float = 0.05,
+    dup_rate: float = 0.02,
+    crash_count: int = 1,
+    fault_seed: int = 7,
+    seed: int = 0,
+    update_rate: float = 5.0,
+    inquiry_rate: float = 3.0,
+    audit_rate: float = 0.2,
+) -> ExperimentSpec:
+    """The canonical chaos experiment: a storm on the bitmask workload."""
+    return ExperimentSpec(
+        protocol=protocol, nodes=nodes, duration=duration,
+        update_rate=update_rate, inquiry_rate=inquiry_rate,
+        audit_rate=audit_rate, amount_mode="bitmask", detail=True,
+        seed=seed, drop_rate=drop_rate, dup_rate=dup_rate,
+        crash_count=crash_count, fault_seed=fault_seed,
+    )
+
+
+def _committed_bases(history) -> typing.Set[str]:
+    """Base names of committed transactions, collapsing retry clones.
+
+    The 2PC baseline resubmits an aborted root as ``name~rK``; for the
+    oracle a recording counts as committed when *any* attempt committed.
+    """
+    return {
+        name.split("~r")[0]
+        for name, record in history.txns.items()
+        if not record.aborted
+    }
+
+
+def _check_stores(result) -> typing.Tuple[int, int, int, typing.List[str]]:
+    """Compare every entity's final replicas (and the bitmask oracle)."""
+    workload = result.workload
+    history = result.history
+    system = result.system
+    bitmask = workload.config.amount_mode == "bitmask"
+    corrected = set(workload.correction_entities.values())
+    committed = _committed_bases(history)
+    checked = disagreements = mismatches = 0
+    failures: typing.List[str] = []
+    for entity, node_ids in sorted(workload.entity_nodes.items()):
+        checked += 1
+        key = balance_key(entity)
+        values = {
+            node_id: system.node(node_id).store.read_max_leq(
+                key, _ANY_VERSION, default=None
+            )
+            for node_id in node_ids
+        }
+        distinct = set(values.values())
+        if len(distinct) > 1:
+            disagreements += 1
+            if len(failures) < 5:
+                failures.append(
+                    f"entity {entity} replicas disagree: {values}"
+                )
+            continue
+        if bitmask and entity not in corrected:
+            expected = 0
+            for name, (ent, amount) in workload.update_amounts.items():
+                if ent == entity and name in committed:
+                    expected |= amount
+            actual = distinct.pop()
+            if actual != expected:
+                mismatches += 1
+                if len(failures) < 5:
+                    failures.append(
+                        f"entity {entity} final value {actual!r} != "
+                        f"committed mask {expected!r}"
+                    )
+    return checked, disagreements, mismatches, failures
+
+
+def run_chaos_spec(
+    spec: ExperimentSpec,
+    *,
+    verify_repeat: bool = True,
+    drain_limit: float = 100000.0,
+) -> ChaosReport:
+    """Run one chaos experiment and score every robustness property."""
+    failures: typing.List[str] = []
+    try:
+        result = run_recording_experiment(
+            spec.protocol, drain_limit=drain_limit, **spec.run_kwargs()
+        )
+    except Exception as exc:  # convergence (or worse) failed outright
+        return ChaosReport(
+            protocol=spec.protocol, summary=None,
+            entities_checked=0, disagreements=0, oracle_mismatches=0,
+            repeat_identical=None,
+            failures=(f"run failed: {type(exc).__name__}: {exc}",),
+        )
+
+    check_snapshots = (
+        spec.protocol == "3v" and spec.amount_mode == "bitmask" and spec.detail
+    )
+    report = audit(result.history, result.workload,
+                   check_snapshots=check_snapshots)
+    summary = summarize(spec, result, report)
+
+    entry = PROTOCOLS.get(spec.protocol)
+    strict = entry is not None and entry.strict_audit
+    if strict and not report.clean:
+        failures.append(
+            f"strict audit failed: {report.fractured_reads} fractured, "
+            f"{report.snapshot_mismatches} snapshot mismatches"
+        )
+
+    checked, disagreements, mismatches, store_failures = _check_stores(result)
+    failures.extend(store_failures)
+
+    if spec.crash_count > 0 and summary.recoveries < summary.crashes:
+        failures.append(
+            f"{summary.crashes - summary.recoveries} crash(es) never "
+            "recovered before the drain"
+        )
+
+    repeat_identical: typing.Optional[bool] = None
+    if verify_repeat:
+        rerun = run_recording_experiment(
+            spec.protocol, drain_limit=drain_limit, **spec.run_kwargs()
+        )
+        rerun_report = audit(rerun.history, rerun.workload,
+                             check_snapshots=check_snapshots)
+        rerun_summary = summarize(spec, rerun, rerun_report)
+        repeat_identical = (
+            rerun_summary.determinism_digest() == summary.determinism_digest()
+        )
+        if not repeat_identical:
+            failures.append(
+                "identically-seeded rerun diverged: "
+                f"{summary.determinism_digest()} != "
+                f"{rerun_summary.determinism_digest()}"
+            )
+
+    return ChaosReport(
+        protocol=spec.protocol,
+        summary=summary,
+        entities_checked=checked,
+        disagreements=disagreements,
+        oracle_mismatches=mismatches,
+        repeat_identical=repeat_identical,
+        failures=tuple(failures),
+    )
+
+
+def run_chaos(
+    protocols: typing.Optional[typing.Sequence[str]] = None,
+    *,
+    verify_repeat: bool = True,
+    drain_limit: float = 100000.0,
+    **spec_kwargs,
+) -> typing.List[ChaosReport]:
+    """Run the chaos harness across protocols (default: all registered)."""
+    names = tuple(protocols) if protocols is not None else PROTOCOLS.names()
+    return [
+        run_chaos_spec(
+            chaos_spec(name, **spec_kwargs),
+            verify_repeat=verify_repeat, drain_limit=drain_limit,
+        )
+        for name in names
+    ]

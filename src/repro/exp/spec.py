@@ -70,6 +70,16 @@ PARAMETERS: typing.Tuple[Parameter, ...] = (
               "fraction of recordings that abort (compensation)"),
     Parameter("poll-interval", "poll_interval", float, 0.5,
               "advancement counter poll interval (3V)"),
+    # Fault-injection axes (repro.faults): all-zero means no fault
+    # machinery is attached and the run is bit-identical to the seed path.
+    Parameter("drop-rate", "drop_rate", float, 0.0,
+              "per-link message drop probability (fault injection)"),
+    Parameter("dup-rate", "dup_rate", float, 0.0,
+              "per-link message duplication probability (fault injection)"),
+    Parameter("crash-count", "crash_count", int, 0,
+              "crash/recover cycles per node (fault injection)"),
+    Parameter("fault-seed", "fault_seed", int, 0,
+              "seed for the fault schedule (independent of the workload)"),
 )
 
 PARAMETERS_BY_FLAG: typing.Dict[str, Parameter] = {
@@ -139,6 +149,10 @@ class ExperimentSpec:
     amount_mode: str = "bitmask"
     abort_fraction: float = 0.0
     detail: bool = True
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    crash_count: int = 0
+    fault_seed: int = 0
 
     def replace(self, **changes) -> "ExperimentSpec":
         """A copy with some fields changed (specs are immutable)."""

@@ -77,6 +77,14 @@ class ExperimentSummary:
     # determinism canaries
     sim_events: int
     txn_count: int
+    # fault machinery (all zero on fault-free runs; defaulted so cached
+    # summaries from before these fields existed still deserialize)
+    retransmits: int = 0
+    dup_suppressed: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    crashes: int = 0
+    recoveries: int = 0
 
     def determinism_digest(self) -> str:
         """Hex digest of the run's discrete counts.
@@ -149,6 +157,12 @@ def summarize(spec: ExperimentSpec, result, report) -> ExperimentSummary:
         messages_control=stats.control_messages,
         sim_events=result.system.sim.scheduled_count,
         txn_count=len(history.txns),
+        retransmits=stats.retransmits,
+        dup_suppressed=stats.dup_suppressed,
+        messages_dropped=stats.dropped,
+        messages_duplicated=stats.duplicated,
+        crashes=getattr(result.system, "crash_count", 0),
+        recoveries=getattr(result.system, "recovery_count", 0),
     )
 
 

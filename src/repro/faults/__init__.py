@@ -1,0 +1,25 @@
+"""Fault injection: deterministic message loss, duplication, delay spikes,
+and node crash/recover schedules.
+
+The package is pure mechanism below the protocol layer: it may import
+``repro.net`` and ``repro.sim`` (enforced by ``tools/check_layering.py``)
+but never a protocol plugin, the runtime, or the experiment stack.  The
+chaos harness that *drives* protocols under these faults lives in
+:mod:`repro.exp.chaos`; the crash/recover surface lives on
+:class:`repro.runtime.System`.
+
+See ``docs/FAULTS.md`` for the fault model and how it relates to the
+paper's reliability assumptions.
+"""
+
+from repro.faults.network import ChaosNetwork, FaultyNetwork, build_network
+from repro.faults.plan import CrashEvent, FaultPlan, LinkFaults
+
+__all__ = [
+    "ChaosNetwork",
+    "CrashEvent",
+    "FaultPlan",
+    "FaultyNetwork",
+    "LinkFaults",
+    "build_network",
+]

@@ -1,0 +1,92 @@
+"""The fault injector: a network that drops, duplicates, and delays.
+
+:class:`FaultyNetwork` subclasses :class:`~repro.net.network.Network` and
+overrides the single physical-transmission seam (``_transmit``), so every
+copy that would touch the wire — first sends, retransmissions, and
+transport acks alike — passes one fault decision point.  Fault randomness
+comes from the plan's own :class:`~repro.sim.distributions.RngRegistry`
+(seeded with ``fault_seed``), and a link whose fault parameters are all
+zero draws nothing at all, which keeps a zero-fault plan bit-identical to
+the plain network.
+
+:class:`ChaosNetwork` composes the injector with the reliable-delivery
+layer via MRO: ``_dispatch_send`` registers each message for
+retransmission (ReliableNetwork) and every physical copy then runs the
+fault gauntlet (FaultyNetwork).  :func:`build_network` picks the right
+class for a plan: lossy plans need the reliable layer; drop-free plans
+skip its ack/timer traffic entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.faults.plan import FaultPlan
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.reliable import ReliableNetwork
+
+
+class FaultyNetwork(Network):
+    """A network that loses, duplicates, and delays individual copies.
+
+    On its own (without the reliable layer) a dropped message is gone
+    forever — exactly what the reliable-delivery property tests need.  Use
+    :func:`build_network` to get the composition a real run wants.
+    """
+
+    def __init__(self, sim, plan: FaultPlan, **kwargs):
+        super().__init__(sim, **kwargs)
+        self.plan = plan
+        registry = plan.rng_registry()
+        self._drop_rng = registry.stream("faults.drop")
+        self._dup_rng = registry.stream("faults.dup")
+        self._spike_rng = registry.stream("faults.spike")
+
+    def _transmit(self, message: Message, extra_delay: float = 0.0) -> None:
+        faults = self.plan.link(message.src, message.dst)
+        if not faults.active:
+            super()._transmit(message, extra_delay)
+            return
+        # Fixed draw order per copy — drop, spike, dup — so the fault
+        # schedule is a pure function of the fault seed and the sequence
+        # of transmissions.
+        if faults.drop and self._drop_rng.random() < faults.drop:
+            self.stats.dropped += 1
+            return
+        if (faults.spike_probability
+                and self._spike_rng.random() < faults.spike_probability):
+            extra_delay += faults.spike_delay
+        super()._transmit(message, extra_delay)
+        if faults.dup and self._dup_rng.random() < faults.dup:
+            self.stats.duplicated += 1
+            # Same message_id on purpose: the duplicate must be
+            # recognizable to receiver-side dedup.  A fresh envelope keeps
+            # the two deliveries from fighting over delivered_at.
+            super()._transmit(
+                dataclasses.replace(message, delivered_at=None), extra_delay
+            )
+
+
+class ChaosNetwork(ReliableNetwork, FaultyNetwork):
+    """Lossy links underneath, exactly-once delivery on top.
+
+    MRO does the composition: ``ReliableNetwork._dispatch_send`` registers
+    the message and arms the retransmit timer; every physical copy (first
+    send, retransmit, ack) then flows through
+    ``FaultyNetwork._transmit``'s drop/spike/dup gauntlet before the base
+    network schedules delivery.
+    """
+
+
+def build_network(sim, plan: FaultPlan, **kwargs) -> Network:
+    """The right network for a plan.
+
+    Lossy plans (any drop or duplication) need the reliable layer to
+    restore the exactly-once contract the protocols assume; drop-free
+    plans use the bare injector, which adds no ack/timer traffic — so a
+    zero-fault plan stays event-for-event identical to the seed path.
+    """
+    if plan.lossy:
+        return ChaosNetwork(sim, plan=plan, policy=plan.retransmit, **kwargs)
+    return FaultyNetwork(sim, plan=plan, **kwargs)

@@ -11,6 +11,7 @@ from repro.net.latency import (
 )
 from repro.net.message import Message, MessageKind
 from repro.net.network import Network, NetworkStats
+from repro.net.reliable import ReliableNetwork, RetransmitPolicy
 
 __all__ = [
     "LatencyModel",
@@ -21,6 +22,8 @@ __all__ = [
     "Network",
     "NetworkStats",
     "PartitionedLatency",
+    "ReliableNetwork",
+    "RetransmitPolicy",
     "SkewedLatency",
     "UniformLatency",
     "constant_latency",

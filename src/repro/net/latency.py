@@ -11,6 +11,7 @@ fault-injection tests to show advancement still terminates).
 from __future__ import annotations
 
 import typing
+import warnings
 
 from repro.errors import SimulationError
 from repro.sim.distributions import Constant, Distribution, RngRegistry
@@ -21,6 +22,15 @@ class LatencyModel:
 
     def delay(self, src: str, dst: str, rngs: RngRegistry) -> float:
         raise NotImplementedError  # pragma: no cover
+
+    def bind_clock(self, now: typing.Callable[[], float]) -> None:
+        """Attach the owning simulator's clock.
+
+        :class:`~repro.net.network.Network` calls this on construction, so
+        time-dependent models (:class:`PartitionedLatency`) see simulation
+        time without callers threading a closure through.  Stateless models
+        ignore it.
+        """
 
 
 class UniformLatency(LatencyModel):
@@ -82,6 +92,10 @@ class PartitionedLatency(LatencyModel):
     Messages sent on a stalled link are held until the window closes (plus
     the base delay).  Used to show that version advancement is delayed but
     user transactions are not (fault-injection tests).
+
+    The model needs the simulation clock to know whether a send falls in
+    the stall window; the owning ``Network`` provides it via
+    :meth:`bind_clock` at construction, so callers no longer pass one.
     """
 
     def __init__(
@@ -90,18 +104,37 @@ class PartitionedLatency(LatencyModel):
         stalled_links: typing.Iterable[typing.Tuple[str, str]],
         start: float,
         end: float,
-        now: typing.Callable[[], float],
+        now: typing.Optional[typing.Callable[[], float]] = None,
     ):
         if end < start:
             raise SimulationError(f"partition window reversed: [{start}, {end}]")
+        if now is not None:
+            warnings.warn(
+                "PartitionedLatency(now=...) is deprecated; the Network "
+                "binds the simulator clock automatically via bind_clock()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.base = base
         self.stalled_links = frozenset(stalled_links)
         self.start = start
         self.end = end
         self._now = now
 
+    def bind_clock(self, now: typing.Callable[[], float]) -> None:
+        # An explicitly passed clock (deprecated path) wins, so old tests
+        # that pin "now" to a constant keep their meaning.
+        if self._now is None:
+            self._now = now
+        self.base.bind_clock(now)
+
     def delay(self, src: str, dst: str, rngs: RngRegistry) -> float:
         base_delay = self.base.delay(src, dst, rngs)
+        if self._now is None:
+            raise SimulationError(
+                "PartitionedLatency has no clock; attach the model to a "
+                "Network/System first (bind_clock) or pass now= explicitly"
+            )
         now = self._now()
         if (src, dst) in self.stalled_links and self.start <= now < self.end:
             return (self.end - now) + base_delay

@@ -29,12 +29,26 @@ class NetworkStats:
     per-send :meth:`record` call (made for every message in the system) is a
     single lookup and two in-place adds.  The ``sent_by_kind`` /
     ``total_latency_by_kind`` views are materialized on access.
+
+    The four plain-int fault counters stay zero on a fault-free network;
+    they are bumped by the reliable-delivery layer
+    (:mod:`repro.net.reliable`) and the fault injector
+    (:mod:`repro.faults`).
     """
 
-    __slots__ = ("_by_kind",)
+    __slots__ = ("_by_kind", "retransmits", "dup_suppressed", "dropped",
+                 "duplicated")
 
     def __init__(self):
         self._by_kind: typing.Dict[str, typing.List[float]] = {}
+        #: Retransmissions sent by the reliable-delivery layer.
+        self.retransmits = 0
+        #: Duplicate deliveries suppressed by receiver-side dedup.
+        self.dup_suppressed = 0
+        #: Transmissions dropped by the fault injector.
+        self.dropped = 0
+        #: Extra copies injected by the fault injector.
+        self.duplicated = 0
 
     def record(self, kind: str, latency: float) -> None:
         try:
@@ -109,6 +123,7 @@ class Network:
         self.sim = sim
         self.rngs = rngs if rngs is not None else RngRegistry(0)
         self.latency = latency if latency is not None else constant_latency(1.0)
+        self.latency.bind_clock(lambda: sim.now)
         self.fifo_links = fifo_links
         self.stats = NetworkStats()
         self._mailboxes: typing.Dict[str, Store] = {}
@@ -149,21 +164,40 @@ class Network:
         """
         if dst not in self._mailboxes:
             raise SimulationError(f"send to unknown endpoint: {dst!r}")
+        message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                          sent_at=self.sim.now)
+        self._dispatch_send(message)
+        return message
+
+    def _dispatch_send(self, message: Message) -> None:
+        """Hand a freshly built envelope to the transmission path.
+
+        The reliable-delivery layer overrides this to register the message
+        for retransmission before the (possibly lossy) first transmission.
+        """
+        self._transmit(message)
+
+    def _transmit(self, message: Message, extra_delay: float = 0.0) -> None:
+        """Put one physical copy of ``message`` on the wire.
+
+        Samples the link latency, applies FIFO clamping, records stats, and
+        schedules delivery.  The fault injector overrides this to drop,
+        duplicate, or delay individual copies; retransmissions re-enter
+        here, so each copy draws a fresh latency.
+        """
         sim = self.sim
         now = sim.now
-        message = Message(src=src, dst=dst, kind=kind, payload=payload,
-                          sent_at=now)
-        delay = self.latency.delay(src, dst, self.rngs)
+        delay = self.latency.delay(message.src, message.dst, self.rngs)
         if delay < 0:
             raise SimulationError(f"latency model returned negative delay: {delay}")
+        delay += extra_delay
         if self.fifo_links:
-            link = (src, dst)
+            link = (message.src, message.dst)
             deliver_at = max(now + delay, self._last_delivery.get(link, 0.0))
             self._last_delivery[link] = deliver_at
             delay = deliver_at - now
-        self.stats.record(kind, delay)
+        self.stats.record(message.kind, delay)
         sim.schedule(delay, self._deliver, message)
-        return message
 
     def _deliver(self, message: Message) -> None:
         message.delivered_at = self.sim.now

@@ -1,0 +1,127 @@
+"""Reliable delivery over a lossy channel: acks, retransmission, dedup.
+
+The protocol plugins assume the exactly-once channel of the base
+:class:`~repro.net.network.Network` (the paper's reliable-delivery
+assumption).  When the fault injector makes the channel lossy, this layer
+restores that contract with the standard at-least-once-plus-dedup
+discipline real replicated stores use:
+
+* every data message is held by the *sender* until a transport-level
+  :data:`~repro.net.message.MessageKind.NET_ACK` for its ``message_id``
+  comes back;
+* unacked messages are retransmitted on a timer with exponential backoff
+  (capped) plus deterministic jitter drawn from the ``net.retransmit``
+  RNG stream;
+* the *receiver* acks every copy it sees (so lost acks are repaired) but
+  delivers each ``message_id`` to the mailbox at most once, counting the
+  suppressed duplicates.
+
+Acks are pure transport frames: they are never acked, never retransmitted,
+and never reach a mailbox, so the paper's user/control/commit message
+accounting is untouched.  Retransmission never gives up — eventual
+delivery is guaranteed as long as the link's drop probability is below 1 —
+and the caller's ``run_until_quiet(limit=...)`` bounds how long we wait
+for the storm to drain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.net.message import Message, MessageKind
+from repro.net.network import Network
+
+
+@dataclasses.dataclass(frozen=True)
+class RetransmitPolicy:
+    """Retransmission timing: exponential backoff, capped, with jitter.
+
+    The first retransmit fires ``timeout`` (plus jitter) after the send;
+    each subsequent one multiplies the interval by ``backoff`` up to
+    ``max_interval``.  Jitter is uniform on ``[0, jitter)`` per timer,
+    drawn from a named RNG stream, so two runs with the same seed produce
+    identical retransmission schedules.
+    """
+
+    timeout: float = 5.0
+    backoff: float = 2.0
+    max_interval: float = 40.0
+    jitter: float = 0.5
+
+
+class ReliableNetwork(Network):
+    """A :class:`Network` with per-message acks, retransmission, and dedup.
+
+    Composes with the fault injector by overriding the two seams the base
+    class exposes: :meth:`_dispatch_send` (register for retransmission
+    before the possibly-lossy first transmission) and :meth:`_deliver`
+    (consume acks, ack + dedup data frames).
+    """
+
+    def __init__(self, sim, policy: typing.Optional[RetransmitPolicy] = None,
+                 **kwargs):
+        super().__init__(sim, **kwargs)
+        self.policy = policy if policy is not None else RetransmitPolicy()
+        #: In-flight (unacked) messages by id.
+        self._pending: typing.Dict[int, Message] = {}
+        #: Per-destination set of message ids already delivered.
+        self._seen: typing.Dict[str, typing.Set[int]] = {}
+        self._jitter_rng = self.rngs.stream("net.retransmit")
+
+    @property
+    def pending_unacked(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+
+    def _dispatch_send(self, message: Message) -> None:
+        self._pending[message.message_id] = message
+        self._transmit(message)
+        self._arm_timer(message, self.policy.timeout)
+
+    def _arm_timer(self, message: Message, interval: float) -> None:
+        jitter = self._jitter_rng.random() * self.policy.jitter
+        self.sim.schedule(
+            interval + jitter, self._maybe_retransmit, message, interval
+        )
+
+    def _maybe_retransmit(self, message: Message, interval: float) -> None:
+        if message.message_id not in self._pending:
+            return  # acked in the meantime; the timer dies quietly
+        self.stats.retransmits += 1
+        # A fresh envelope per physical copy: the original may be sitting
+        # in the delivery heap (merely slow, not lost), and delivery
+        # mutates the envelope's delivered_at.
+        self._transmit(dataclasses.replace(message, delivered_at=None))
+        self._arm_timer(
+            message, min(interval * self.policy.backoff,
+                         self.policy.max_interval)
+        )
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        if message.kind is MessageKind.NET_ACK:
+            # payload = the acked data message's id.  Duplicate/stale acks
+            # are no-ops.
+            self._pending.pop(message.payload, None)
+            return
+        # Ack every copy received — a dropped ack leaves the sender
+        # retransmitting, and only the next ack can stop it.
+        self._transmit(
+            Message(
+                src=message.dst, dst=message.src, kind=MessageKind.NET_ACK,
+                payload=message.message_id, sent_at=self.sim.now,
+            )
+        )
+        seen = self._seen.setdefault(message.dst, set())
+        if message.message_id in seen:
+            self.stats.dup_suppressed += 1
+            return
+        seen.add(message.message_id)
+        super()._deliver(message)

@@ -22,6 +22,7 @@ from repro.errors import ProtocolError
 from repro.net.message import Message, MessageKind
 from repro.sim.resources import Resource
 from repro.storage.locktable import LockTable
+from repro.storage.wal import JournaledStore, NodeJournal
 from repro.txn.history import WaitReason
 from repro.txn.runtime import CompletionNotice, CompletionTracker, SubtxnInstance
 
@@ -39,7 +40,14 @@ class ProtocolNode:
         self.plugin = system.plugin
         self.node_id = node_id
 
-        self.store = self.plugin.make_store(self)
+        #: Write-ahead journal for crash-recovery (only when the system
+        #: runs with fault injection; ``None`` keeps the seed path exact).
+        self.journal = NodeJournal(node_id) if system.journaling else None
+        store = self.plugin.make_store(self)
+        if self.journal is not None:
+            store = JournaledStore(store, lambda: self.plugin.make_store(self))
+            self.journal.attach("store", store)
+        self.store = store
         self.locks = LockTable(self.sim)
         self.executor = Resource(self.sim, capacity=self.config.executor_capacity)
 

@@ -65,6 +65,17 @@ class ProtocolPlugin:
     def init_node(self, node) -> None:
         """Attach protocol-specific state to a freshly built node."""
 
+    def on_recover(self, node) -> None:
+        """The node came back from a fail-stop crash.
+
+        Called after the write-ahead journal rebuilt the node's durable
+        components and before its mailbox thaws.  Plugins re-arm whatever
+        protocol state needs it (3V re-ensures its active counter rows and
+        re-checks NC3V admission gates; the two-phase engines re-resolve
+        in-doubt transactions).  The default protocol keeps no state
+        beyond the journaled store, so this is a no-op.
+        """
+
     # ------------------------------------------------------------------
     # Classification and lifecycle takeover
     # ------------------------------------------------------------------

@@ -31,7 +31,7 @@ class ProtocolEntry:
     name: str
     #: ``builder(node_ids, *, seed, latency, node_config, detail,
     #: advancement_period, safety_delay, poll_interval,
-    #: allow_noncommuting) -> System``
+    #: allow_noncommuting, faults) -> System``
     builder: typing.Callable
     description: str
     #: Display/iteration rank (import order must not matter).

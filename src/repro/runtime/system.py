@@ -37,6 +37,11 @@ class System:
             very large benchmark runs).
         fifo_links: Enforce per-link FIFO message delivery.
         plugin: Protocol plugin instance (default: ``plugin_class()``).
+        faults: Optional :class:`repro.faults.FaultPlan`.  Swaps the
+            network for the fault injector (plus the reliable-delivery
+            layer when the plan is lossy), enables write-ahead journaling
+            on every node so :meth:`crash`/:meth:`recover` work, and
+            schedules the plan's crash/recover events.
     """
 
     #: Plugin built when the ``plugin`` argument is omitted.
@@ -51,22 +56,48 @@ class System:
         detail: bool = True,
         fifo_links: bool = False,
         plugin: typing.Optional[ProtocolPlugin] = None,
+        faults=None,
     ):
         if not node_ids:
             raise ProtocolError("a system needs at least one node")
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
-        self.network = Network(
-            self.sim, rngs=self.rngs, latency=latency, fifo_links=fifo_links
-        )
+        self.faults = faults
+        if faults is not None:
+            # Imported lazily: the runtime only depends on repro.faults
+            # when a plan is actually supplied.
+            from repro.faults import build_network
+
+            self.network = build_network(
+                self.sim, faults, rngs=self.rngs, latency=latency,
+                fifo_links=fifo_links,
+            )
+        else:
+            self.network = Network(
+                self.sim, rngs=self.rngs, latency=latency,
+                fifo_links=fifo_links,
+            )
         self.history = History(detail=detail)
         self.config = node_config if node_config is not None else NodeConfig()
         self.plugin = plugin if plugin is not None else self.plugin_class()
         self.plugin.bind(self)
+        #: Node ids currently crashed (mailboxes frozen).
+        self.down_nodes: typing.Set[str] = set()
+        self.crash_count = 0
+        self.recovery_count = 0
         self.nodes: typing.Dict[str, ProtocolNode] = {
             node_id: ProtocolNode(self, node_id) for node_id in node_ids
         }
+        if faults is not None:
+            for event in faults.crashes:
+                if event.node in self.nodes:
+                    self.sim.schedule(event.at, self._scheduled_crash, event)
         self._submitted = 0
+
+    @property
+    def journaling(self) -> bool:
+        """Whether nodes keep write-ahead journals (crash-recovery on)."""
+        return self.faults is not None
 
     # ------------------------------------------------------------------
     # Data loading and inspection
@@ -117,6 +148,61 @@ class System:
     @property
     def submitted_count(self) -> int:
         return self._submitted
+
+    # ------------------------------------------------------------------
+    # Crash / recovery (fail-stop at message granularity)
+    # ------------------------------------------------------------------
+
+    def crash(self, node_id: str) -> None:
+        """Fail-stop a node.
+
+        Its mailbox freezes — messages keep accumulating in the durable
+        queue but the node consumes nothing — and at :meth:`recover` time
+        its volatile store/counter state is discarded and rebuilt from the
+        write-ahead journal.  In-flight local work runs to completion
+        against the journaled state (the model is a local recovery manager
+        finishing redo-logged work, not a torn execution); what a crash
+        interrupts is all *future* message processing.
+
+        Requires the system to have been built with ``faults=`` (that is
+        what turns journaling on).
+        """
+        node = self.node(node_id)
+        if node.journal is None:
+            raise ProtocolError(
+                f"cannot crash {node_id!r}: system was built without "
+                "faults= (write-ahead journaling is off)"
+            )
+        if node_id in self.down_nodes:
+            raise ProtocolError(f"node {node_id!r} is already down")
+        self.down_nodes.add(node_id)
+        self.crash_count += 1
+        node._mailbox.freeze()
+
+    def recover(self, node_id: str) -> None:
+        """Bring a crashed node back: replay the journal, re-arm, thaw.
+
+        The journal replay rebuilds the store (and any plugin-attached
+        components, e.g. 3V's counter table) to the exact pre-crash state;
+        ``plugin.on_recover`` then re-arms protocol state, and thawing the
+        mailbox lets the node drain everything that arrived while it was
+        down — including retransmitted copies and in-doubt 2PC decisions.
+        """
+        node = self.node(node_id)
+        if node_id not in self.down_nodes:
+            raise ProtocolError(f"node {node_id!r} is not down")
+        node.journal.replay()
+        self.plugin.on_recover(node)
+        self.down_nodes.discard(node_id)
+        self.recovery_count += 1
+        node._mailbox.thaw()
+
+    def _scheduled_crash(self, event) -> None:
+        """Run one planned crash/recover cycle (skipped if already down)."""
+        if event.node in self.down_nodes:
+            return
+        self.crash(event.node)
+        self.sim.schedule(event.down_for, self.recover, event.node)
 
     # ------------------------------------------------------------------
     # Running

@@ -87,21 +87,43 @@ class Resource:
 class Store:
     """An unbounded FIFO queue with blocking ``get`` — a process mailbox."""
 
-    __slots__ = ("sim", "_items", "_getters", "total_puts")
+    __slots__ = ("sim", "_items", "_getters", "total_puts", "_frozen")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self._items: collections.deque = collections.deque()
         self._getters: collections.deque = collections.deque()
         self.total_puts = 0
+        self._frozen = False
 
     def __len__(self) -> int:
         return len(self._items)
 
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Stop handing items to getters; ``put`` queues silently.
+
+        Used to model a crashed node: its mailbox keeps accepting messages
+        (so no message is ever lost by the transport), but the node's main
+        loop is starved until :meth:`thaw`.  Killing the loop process
+        instead would strand its pending getter event, which would swallow
+        the next ``put`` — freezing avoids that hazard entirely.
+        """
+        self._frozen = True
+
+    def thaw(self) -> None:
+        """Resume delivery, re-pairing queued items with waiting getters."""
+        self._frozen = False
+        while self._items and self._getters:
+            self._getters.popleft().succeed(self._items.popleft())
+
     def put(self, item) -> None:
         """Deposit an item; wakes the oldest waiting getter if any."""
         self.total_puts += 1
-        if self._getters:
+        if self._getters and not self._frozen:
             self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
@@ -113,7 +135,7 @@ class Store:
             An event whose value is the retrieved item.
         """
         event = Event(self.sim)
-        if self._items:
+        if self._items and not self._frozen:
             event.succeed(self._items.popleft())
         else:
             self._getters.append(event)

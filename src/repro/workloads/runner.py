@@ -70,6 +70,7 @@ def build_system(
     op_service: float = 0.001,
     executor_capacity: int = 1,
     poll_interval: float = 0.5,
+    faults=None,
 ):
     """Instantiate any registered protocol behind a uniform interface."""
     if latency is None:
@@ -82,7 +83,7 @@ def build_system(
         protocol, node_ids, seed=seed, latency=latency, node_config=config,
         detail=detail, advancement_period=advancement_period,
         safety_delay=safety_delay, poll_interval=poll_interval,
-        allow_noncommuting=allow_noncommuting,
+        allow_noncommuting=allow_noncommuting, faults=faults,
     )
 
 
@@ -103,21 +104,38 @@ def run_recording_experiment(
     amount_mode: str = "bitmask",
     abort_fraction: float = 0.0,
     detail: bool = True,
+    drop_rate: float = 0.0,
+    dup_rate: float = 0.0,
+    crash_count: int = 0,
+    fault_seed: int = 0,
     drain_limit: float = 100000.0,
     **system_kwargs,
 ) -> ExperimentResult:
     """Run one full recording experiment on the chosen protocol.
 
     Arrival processes and workload composition are derived from ``seed``
-    only, independent of the protocol under test.
+    only, independent of the protocol under test.  The fault axes
+    (``drop_rate``/``dup_rate``/``crash_count``, scheduled from
+    ``fault_seed``) build a :class:`repro.faults.FaultPlan` storm; with
+    all three at zero no fault machinery is attached at all, keeping the
+    seed path bit-identical.
     """
     node_ids = [f"n{index:02d}" for index in range(nodes)]
     span = min(span, nodes)
+    faults = system_kwargs.pop("faults", None)
+    if faults is None and (drop_rate or dup_rate or crash_count):
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan.storm(
+            node_ids, drop_rate=drop_rate, dup_rate=dup_rate,
+            crash_count=crash_count, fault_seed=fault_seed,
+            duration=duration,
+        )
     system = build_system(
         protocol, node_ids, seed=seed, latency=latency,
         advancement_period=advancement_period, safety_delay=safety_delay,
         allow_noncommuting=correction_rate > 0, detail=detail,
-        **system_kwargs,
+        faults=faults, **system_kwargs,
     )
     workload_config = RecordingConfig(
         nodes=node_ids, entities=entities, span=span,

@@ -1,0 +1,343 @@
+"""The fault-injection stack in isolation: plans, injector, reliable layer.
+
+Covers the pure-data :class:`FaultPlan` (validation, storm determinism),
+the :class:`FaultyNetwork` injector (seeded drops/dups/spikes), the
+reliable-delivery layer (exactly-once over arbitrary lossy links — the
+Hypothesis properties), write-ahead journaling, and mailbox freeze/thaw.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.faults import (
+    ChaosNetwork,
+    CrashEvent,
+    FaultPlan,
+    FaultyNetwork,
+    LinkFaults,
+    build_network,
+)
+from repro.net import (
+    MessageKind,
+    Network,
+    ReliableNetwork,
+    RetransmitPolicy,
+    constant_latency,
+)
+from repro.sim import RngRegistry, Simulator
+from repro.sim.resources import Store
+from repro.storage import Increment
+from repro.storage.mvstore import MVStore
+from repro.storage.counters import CounterTable
+from repro.storage.wal import (
+    JournaledCounters,
+    JournaledStore,
+    NodeJournal,
+)
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestFaultPlan:
+    def test_probabilities_validated(self):
+        with pytest.raises(SimulationError):
+            LinkFaults(drop=1.0)
+        with pytest.raises(SimulationError):
+            LinkFaults(dup=-0.1)
+        with pytest.raises(SimulationError):
+            LinkFaults(spike_probability=0.1, spike_delay=-1.0)
+
+    def test_crash_event_validated(self):
+        with pytest.raises(SimulationError):
+            CrashEvent(node="p", at=-1.0, down_for=1.0)
+        with pytest.raises(SimulationError):
+            CrashEvent(node="p", at=0.0, down_for=0.0)
+
+    def test_link_override_lookup(self):
+        slow = LinkFaults(drop=0.5)
+        plan = FaultPlan(default_link=LinkFaults(), links={("p", "q"): slow})
+        assert plan.link("p", "q") is slow
+        assert plan.link("q", "p") == LinkFaults()
+        assert plan.lossy  # the override makes the plan lossy
+
+    def test_zero_plan_is_not_lossy(self):
+        assert not FaultPlan().lossy
+        assert not LinkFaults().active
+
+    def test_storm_is_deterministic(self):
+        nodes = ["b", "a", "c"]
+        one = FaultPlan.storm(nodes, drop_rate=0.1, crash_count=2,
+                              fault_seed=9, duration=30.0)
+        # Caller node order must not matter.
+        two = FaultPlan.storm(sorted(nodes), drop_rate=0.1, crash_count=2,
+                              fault_seed=9, duration=30.0)
+        assert one == two
+        other = FaultPlan.storm(nodes, drop_rate=0.1, crash_count=2,
+                                fault_seed=10, duration=30.0)
+        assert one.crashes != other.crashes
+
+    def test_storm_crashes_confined_and_disjoint(self):
+        plan = FaultPlan.storm(["p", "q"], crash_count=3, fault_seed=3,
+                               duration=40.0)
+        assert len(plan.crashes) == 6
+        by_node = {}
+        for event in plan.crashes:
+            assert 0.0 <= event.at
+            assert event.at + event.down_for < 0.7 * 40.0
+            by_node.setdefault(event.node, []).append(event)
+        for events in by_node.values():
+            events.sort(key=lambda e: e.at)
+            for first, second in zip(events, events[1:]):
+                assert first.at + first.down_for < second.at
+
+    def test_storm_rejects_bad_shape(self):
+        with pytest.raises(SimulationError):
+            FaultPlan.storm(["p"], crash_count=-1)
+        with pytest.raises(SimulationError):
+            FaultPlan.storm(["p"], duration=0.0)
+
+
+def _lossy_pair(plan, fifo=False):
+    """A two-endpoint network of the class ``build_network`` picks."""
+    sim = Simulator()
+    network = build_network(sim, plan, rngs=RngRegistry(1),
+                            latency=constant_latency(1.0), fifo_links=fifo)
+    network.register("a")
+    network.register("b")
+    return sim, network
+
+
+class TestFaultyNetwork:
+    def test_zero_fault_link_draws_nothing(self):
+        plan = FaultPlan()  # all-zero: no drops, no dups, no spikes
+        sim, network = _lossy_pair(plan)
+        assert isinstance(network, FaultyNetwork)
+        assert not isinstance(network, ReliableNetwork)
+        for i in range(10):
+            network.send("a", "b", MessageKind.SUBTXN_REQUEST, payload=i)
+        sim.run()
+        assert len(network.mailbox("b")) == 10
+        assert network.stats.dropped == 0
+        assert network.stats.duplicated == 0
+
+    def test_drops_lose_messages_without_reliable_layer(self):
+        plan = FaultPlan(default_link=LinkFaults(drop=0.5))
+        sim = Simulator()
+        # The bare injector: build FaultyNetwork directly so drops are
+        # permanent (build_network would add the reliable layer).
+        network = FaultyNetwork(sim, plan=plan, rngs=RngRegistry(1),
+                                latency=constant_latency(1.0))
+        network.register("a")
+        network.register("b")
+        for i in range(40):
+            network.send("a", "b", MessageKind.SUBTXN_REQUEST, payload=i)
+        sim.run()
+        delivered = len(network.mailbox("b"))
+        assert delivered + network.stats.dropped == 40
+        assert 0 < network.stats.dropped < 40
+
+    def test_duplicates_share_message_id(self):
+        plan = FaultPlan(default_link=LinkFaults(dup=0.9))
+        sim = Simulator()
+        network = FaultyNetwork(sim, plan=plan, rngs=RngRegistry(1),
+                                latency=constant_latency(1.0))
+        network.register("a")
+        network.register("b")
+        sent = [network.send("a", "b", MessageKind.SUBTXN_REQUEST, payload=i)
+                for i in range(20)]
+        sim.run()
+        inbox = network.mailbox("b").drain()
+        assert network.stats.duplicated > 0
+        assert len(inbox) == 20 + network.stats.duplicated
+        valid_ids = {m.message_id for m in sent}
+        assert {m.message_id for m in inbox} == valid_ids
+
+    def test_spikes_delay_delivery(self):
+        plan = FaultPlan(
+            default_link=LinkFaults(spike_probability=0.99,
+                                    spike_delay=50.0),
+        )
+        sim, network = _lossy_pair(plan)
+        assert isinstance(network, FaultyNetwork)  # spike-only: not lossy
+        network.send("a", "b", MessageKind.SUBTXN_REQUEST)
+        sim.run()
+        inbox = network.mailbox("b").drain()
+        assert inbox[0].delivered_at == pytest.approx(51.0)
+
+    def test_fault_schedule_independent_of_workload_rng(self):
+        """Same fault seed + same send sequence -> same drops, regardless
+        of the workload registry's seed."""
+        counts = []
+        for workload_seed in (1, 99):
+            plan = FaultPlan(fault_seed=5,
+                             default_link=LinkFaults(drop=0.3))
+            sim = Simulator()
+            network = FaultyNetwork(sim, plan=plan,
+                                    rngs=RngRegistry(workload_seed),
+                                    latency=constant_latency(1.0))
+            network.register("a")
+            network.register("b")
+            for i in range(30):
+                network.send("a", "b", MessageKind.SUBTXN_REQUEST, i)
+            sim.run()
+            counts.append(network.stats.dropped)
+        assert counts[0] == counts[1] > 0
+
+
+class TestReliableDelivery:
+    def _run_storm(self, drop, dup, count, fault_seed=0, workload_seed=1):
+        plan = FaultPlan(
+            fault_seed=fault_seed,
+            default_link=LinkFaults(drop=drop, dup=dup),
+            retransmit=RetransmitPolicy(timeout=3.0, jitter=0.25),
+        )
+        sim = Simulator()
+        network = ChaosNetwork(sim, plan=plan, policy=plan.retransmit,
+                               rngs=RngRegistry(workload_seed),
+                               latency=constant_latency(1.0))
+        network.register("a")
+        network.register("b")
+        for i in range(count):
+            network.send("a", "b", MessageKind.SUBTXN_REQUEST, payload=i)
+        sim.run()
+        return sim, network
+
+    @SLOW
+    @given(
+        drop=st.floats(min_value=0.0, max_value=0.8),
+        dup=st.floats(min_value=0.0, max_value=0.8),
+        count=st.integers(min_value=1, max_value=30),
+        fault_seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_exactly_once_delivery(self, drop, dup, count, fault_seed):
+        """Any drop/dup/reorder schedule: every payload reaches the
+        mailbox exactly once and nothing stays unacked."""
+        sim, network = self._run_storm(drop, dup, count,
+                                       fault_seed=fault_seed)
+        payloads = [m.payload for m in network.mailbox("b").drain()]
+        assert sorted(payloads) == list(range(count))
+        assert network.pending_unacked == 0
+
+    @SLOW
+    @given(
+        drop=st.floats(min_value=0.1, max_value=0.7),
+        fault_seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_backoff_schedule_deterministic(self, drop, fault_seed):
+        """Two identically-seeded storms retransmit identically and go
+        quiet at the same instant."""
+        runs = [self._run_storm(drop, 0.1, 12, fault_seed=fault_seed)
+                for _ in range(2)]
+        (sim1, net1), (sim2, net2) = runs
+        assert net1.stats.retransmits == net2.stats.retransmits
+        assert net1.stats.dropped == net2.stats.dropped
+        assert net1.stats.dup_suppressed == net2.stats.dup_suppressed
+        assert sim1.now == sim2.now
+        assert sim1.scheduled_count == sim2.scheduled_count
+
+    def test_acks_never_reach_mailboxes_or_kind_buckets(self):
+        sim, network = self._run_storm(0.4, 0.2, 25)
+        for message in network.mailbox("b").drain():
+            assert message.kind is not MessageKind.NET_ACK
+        assert MessageKind.NET_ACK not in MessageKind.USER_KINDS
+        assert MessageKind.NET_ACK not in MessageKind.CONTROL_KINDS
+        assert MessageKind.NET_ACK not in MessageKind.COMMIT_KINDS
+
+    def test_lossless_reliable_layer_never_retransmits_needlessly(self):
+        """With no faults the timers all die quietly after the acks."""
+        plan = FaultPlan(default_link=LinkFaults(dup=0.0, drop=0.0))
+        sim = Simulator()
+        network = ReliableNetwork(sim, rngs=RngRegistry(1),
+                                  latency=constant_latency(1.0))
+        network.register("a")
+        network.register("b")
+        for i in range(10):
+            network.send("a", "b", MessageKind.SUBTXN_REQUEST, payload=i)
+        sim.run()
+        assert network.stats.retransmits == 0
+        assert network.pending_unacked == 0
+        assert len(network.mailbox("b")) == 10
+
+    def test_build_network_picks_reliable_only_when_lossy(self):
+        sim = Simulator()
+        lossy = build_network(sim, FaultPlan(
+            default_link=LinkFaults(drop=0.1)), rngs=RngRegistry(1))
+        assert isinstance(lossy, ChaosNetwork)
+        clean = build_network(Simulator(), FaultPlan(), rngs=RngRegistry(1))
+        assert isinstance(clean, FaultyNetwork)
+        assert not isinstance(clean, ReliableNetwork)
+
+
+class TestMailboxFreeze:
+    def test_frozen_store_buffers_and_thaw_flushes(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+        store.get().add_callback(lambda ev: got.append(ev.value))
+        store.freeze()
+        store.put("x")
+        sim.run()
+        assert got == []  # the waiting getter is starved while frozen
+        store.thaw()
+        sim.run()
+        assert got == ["x"]
+
+    def test_frozen_store_starves_new_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        store.freeze()
+        got = []
+        store.get().add_callback(lambda ev: got.append(ev.value))
+        sim.run()
+        assert got == []
+        store.thaw()
+        sim.run()
+        assert got == ["x"]
+
+
+class TestJournaling:
+    def test_store_replay_restores_state(self):
+        store = JournaledStore(MVStore(), lambda: MVStore())
+        store.load("x", 0)
+        store.ensure_version("x", 1)
+        store.apply_geq("x", 1, Increment(5))
+        before = store.snapshot()
+        assert store.journal_length == 3
+        store.replay()
+        assert store.snapshot() == before
+        assert "x" in store
+
+    def test_counters_replay_restores_state(self):
+        counters = JournaledCounters(CounterTable("p"),
+                                     lambda: CounterTable("p"))
+        counters.ensure_version(0)
+        counters.ensure_version(1)
+        counters.inc_request(1, "q")
+        counters.inc_completion(1, "q")
+        counters.gc_below(1)
+        counters.inc_request(0, "q")  # below the gc floor: dropped
+        before = (counters.versions(), counters.lost_increments)
+        assert counters.lost_increments == 1
+        counters.replay()
+        assert (counters.versions(), counters.lost_increments) == before
+
+    def test_node_journal_replays_all_components(self):
+        journal = NodeJournal("p")
+        store = JournaledStore(MVStore(), lambda: MVStore())
+        journal.attach("store", store)
+        store.load("x", 7)
+        raw_before = store.raw
+        journal.replay()
+        assert journal.replays == 1
+        assert store.raw is not raw_before  # rebuilt, not reused
+        assert store.read_max_leq("x", 0) == 7
+        assert journal.names == ("store",)

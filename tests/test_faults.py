@@ -28,14 +28,13 @@ def local_txn(name, node, key, delta=1):
 
 class TestStalledCoordinatorLinks:
     def make_system(self, stalled, start, end):
-        base = constant_latency(1.0)
-        system_holder = {}
+        # The network binds the simulation clock to the model at
+        # construction time; no manual clock plumbing needed.
         latency = PartitionedLatency(
-            base=base, stalled_links=stalled, start=start, end=end,
-            now=lambda: system_holder["system"].sim.now,
+            base=constant_latency(1.0), stalled_links=stalled,
+            start=start, end=end,
         )
         system = ThreeVSystem(["p", "q"], seed=1, latency=latency)
-        system_holder["system"] = system
         system.load("p", "x", 0)
         system.load("q", "y", 0)
         return system

@@ -70,6 +70,33 @@ def test_relative_imports_are_resolved(tmp_path):
     assert "imports peer group" in result.stdout
 
 
+def test_detects_faults_importing_the_runtime(tmp_path):
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/faults/__init__.py": "from repro.runtime.system import System\n",
+        "repro/runtime/__init__.py": "",
+        "repro/runtime/system.py": "System = object\n",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 1
+    assert "repro.faults imports" in result.stdout
+
+
+def test_faults_may_import_net_and_sim(tmp_path):
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/faults/__init__.py": (
+            "from repro.net import network\nfrom repro.sim import simulator\n"
+        ),
+        "repro/net/__init__.py": "",
+        "repro/net/network.py": "",
+        "repro/sim/__init__.py": "",
+        "repro/sim/simulator.py": "",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
 def test_compat_shim_and_aggregator_are_allowed(tmp_path):
     seed_tree(str(tmp_path), {
         "repro/__init__.py": "",

@@ -141,8 +141,8 @@ class TestLatencyModels:
             stalled_links=[("p", "q")],
             start=0.0,
             end=100.0,
-            now=lambda: sim.now,
         )
+        model.bind_clock(lambda: sim.now)
         assert model.delay("p", "q", rngs) == pytest.approx(101.0)
         assert model.delay("q", "p", rngs) == pytest.approx(1.0)
 
@@ -153,8 +153,8 @@ class TestLatencyModels:
             stalled_links=[("p", "q")],
             start=0.0,
             end=100.0,
-            now=lambda: 200.0,
         )
+        model.bind_clock(lambda: 200.0)
         assert model.delay("p", "q", rngs) == pytest.approx(1.0)
 
     def test_partition_reversed_window_rejected(self, sim):
@@ -164,8 +164,49 @@ class TestLatencyModels:
                 stalled_links=[],
                 start=5.0,
                 end=1.0,
-                now=lambda: 0.0,
             )
+
+    def test_partition_now_kwarg_deprecated_but_honoured(self, sim):
+        rngs = RngRegistry(1)
+        with pytest.warns(DeprecationWarning):
+            model = PartitionedLatency(
+                base=constant_latency(1.0),
+                stalled_links=[("p", "q")],
+                start=0.0,
+                end=100.0,
+                now=lambda: 200.0,
+            )
+        # An explicitly passed clock wins over a later bind_clock.
+        model.bind_clock(lambda: 0.0)
+        assert model.delay("p", "q", rngs) == pytest.approx(1.0)
+
+    def test_partition_without_clock_raises(self, sim):
+        rngs = RngRegistry(1)
+        model = PartitionedLatency(
+            base=constant_latency(1.0),
+            stalled_links=[("p", "q")],
+            start=0.0,
+            end=100.0,
+        )
+        with pytest.raises(SimulationError):
+            model.delay("p", "q", rngs)
+
+    def test_network_binds_clock_to_latency_model(self):
+        from repro.net import Network
+
+        sim = Simulator()
+        model = PartitionedLatency(
+            base=constant_latency(1.0),
+            stalled_links=[("p", "q")],
+            start=0.0,
+            end=100.0,
+        )
+        network = Network(sim, rngs=RngRegistry(1), latency=model)
+        network.register("p")
+        network.register("q")
+        network.send("p", "q", MessageKind.SUBTXN_REQUEST)
+        # Stalled window: the message is held until the partition heals.
+        assert sim.peek_time() == pytest.approx(101.0)
 
     def test_exponential_latency_is_positive(self, sim):
         rngs = RngRegistry(3)

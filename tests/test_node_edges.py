@@ -196,17 +196,14 @@ class TestProtocolErrors:
         not yet processed the read-advance message."""
         from repro.net import PartitionedLatency, constant_latency
 
-        holder = {}
         latency = PartitionedLatency(
             base=constant_latency(0.5),
             stalled_links=[("coordinator", "q")],
             start=3.0,  # after phase 1's notice, before phase 3's
             end=40.0,
-            now=lambda: holder["system"].sim.now,
         )
         system = ThreeVSystem(["p", "q"], seed=1, latency=latency,
                               poll_interval=0.25)
-        holder["system"] = system
         system.load("p", "x", 1)
         system.load("q", "y", 2)
         # Write both items at version 1, then advance.

@@ -19,6 +19,14 @@ guarantees, and this script keeps them true by construction:
    names and is allowed as a target; ``repro.protocols`` is the one
    module allowed to import every plugin.
 
+3. **Fault injection is substrate.**  ``repro.faults`` may import only
+   the substrate it instruments (``repro.net``, ``repro.sim``,
+   ``repro.errors``) and itself — never the runtime, a protocol plugin,
+   or any higher layer.  The crash/recover surface lives on
+   ``repro.runtime.System`` and the chaos harness in ``repro.exp``;
+   both import *down* into ``repro.faults``, keeping the injector
+   reusable under every protocol.
+
 The check is AST-based (``import x`` / ``from x import y``, including
 relative imports), so string mentions in docstrings or comments are
 ignored.  Exit status 0 = clean, 1 = violations (listed one per line).
@@ -46,6 +54,14 @@ PLUGIN_GROUPS = {
 #: Modules every plugin may import even though they live in a plugin
 #: namespace: the compatibility shim only re-exports runtime names.
 SHARED_COMPAT = ("repro.baselines.base", "repro.baselines")
+
+#: The only ``repro.*`` prefixes ``repro.faults`` may import.
+FAULTS_ALLOWED = (
+    "repro.faults",
+    "repro.net",
+    "repro.sim",
+    "repro.errors",
+)
 
 #: Layers the runtime package must never import.
 ABOVE_RUNTIME = (
@@ -124,6 +140,14 @@ def check(src_root: str) -> typing.List[str]:
                     violations.append(
                         f"{display}:{lineno}: runtime imports higher layer "
                         f"{imported!r} (mechanism must not know policy)"
+                    )
+                if (hits(module, ("repro.faults",))
+                        and hits(imported, ("repro",))
+                        and not hits(imported, FAULTS_ALLOWED)):
+                    violations.append(
+                        f"{display}:{lineno}: repro.faults imports "
+                        f"{imported!r} (the injector may only depend on "
+                        f"net/sim/errors, never a protocol or the runtime)"
                     )
                 if group is None or module == "repro.protocols":
                     continue
