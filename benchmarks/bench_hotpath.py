@@ -20,7 +20,13 @@ test budget):
 * ``advancement`` — e2e run dominated by version-advancement waves
   (period 2.0, poll 0.25): measures the two-wave quiescence machinery.
 * ``counter`` / ``mvstore`` / ``quiescent`` — microbenchmarks of the three
-  3V data-path structures.
+  3V data-path structures.  ``quiescent_checks_per_sec`` measures the
+  aggregate-total path the two-wave detector actually polls (one scalar
+  per node per wave); ``quiescent_scan_checks_per_sec`` keeps the full
+  O(nodes²) differential-oracle scan on the books.
+* The node-count scaling sweep (``bench_scaling_nodes``) rides along:
+  its ``scaling_*`` metrics and per-cell determinism counts merge into
+  this suite's output so ``tools/bench.py --check`` gates them.
 * ``*_vs_reference`` — the same kernel workloads on
   :class:`~repro.sim.reference.ReferenceSimulator` (the seed pure-heap
   scheduler), giving a live optimized-vs-seed kernel speedup.
@@ -38,7 +44,7 @@ import typing
 from repro.analysis.metrics import latency_summary, throughput
 from repro.sim import ReferenceSimulator, Simulator
 from repro.sim.resources import Store
-from repro.storage.counters import CounterTable, quiescent
+from repro.storage.counters import CounterTable, aggregate_quiescent, quiescent
 from repro.storage.mvstore import MVStore
 from repro.workloads import run_recording_experiment
 
@@ -51,6 +57,7 @@ CONFIGS: typing.Dict[str, dict] = {
         "counter_incs": 200_000,
         "mvstore_rounds": 100_000,
         "quiescent_checks": 2_000,
+        "aggregate_checks": 200_000,
         "quiescent_nodes": 32,
         "e2e": dict(nodes=8, duration=120.0, update_rate=16.0,
                     inquiry_rate=8.0, audit_rate=0.2, entities=200, span=2,
@@ -67,6 +74,7 @@ CONFIGS: typing.Dict[str, dict] = {
         "counter_incs": 20_000,
         "mvstore_rounds": 10_000,
         "quiescent_checks": 100,
+        "aggregate_checks": 10_000,
         "quiescent_nodes": 16,
         "e2e": dict(nodes=4, duration=20.0, update_rate=8.0,
                     inquiry_rate=4.0, audit_rate=0.2, entities=60, span=2,
@@ -219,12 +227,29 @@ def mvstore_storm(n: int) -> int:
 
 
 def quiescent_storm(n: int, nodes: int) -> bool:
+    """The O(nodes²) differential-oracle scan (kept for comparison)."""
     ids = [f"n{i:02d}" for i in range(nodes)]
     reqs = {p: {q: 7 for q in ids} for p in ids}
     comps = {q: {p: 7 for p in ids} for q in ids}
     ok = True
     for _ in range(n):
         ok = quiescent(reqs, comps) and ok
+    return ok
+
+
+def aggregate_quiescent_storm(n: int, nodes: int) -> bool:
+    """The aggregate-total check the two-wave detector actually runs.
+
+    One scalar per node per wave — the shape ``gather_counters`` returns
+    for the ``RT``/``CT`` waves — so each check is two dict-sums instead
+    of a nodes² cell scan.
+    """
+    ids = [f"n{i:02d}" for i in range(nodes)]
+    req_totals = {p: 7 * nodes for p in ids}
+    comp_totals = {q: 7 * nodes for q in ids}
+    ok = True
+    for _ in range(n):
+        ok = aggregate_quiescent(req_totals, comp_totals) and ok
     return ok
 
 
@@ -303,12 +328,35 @@ def run_suite(mode: str = "full", jobs: int = 1
     metrics["mvstore_ops_per_sec"] = 3 * rounds / wall
 
     wall, ok = _best_of(
+        lambda: aggregate_quiescent_storm(cfg["aggregate_checks"],
+                                          cfg["quiescent_nodes"]), repeat)
+    assert ok, "aggregate_quiescent() returned False on balanced totals"
+    metrics["quiescent_checks_per_sec"] = cfg["aggregate_checks"] / wall
+
+    wall, ok = _best_of(
         lambda: quiescent_storm(cfg["quiescent_checks"],
                                 cfg["quiescent_nodes"]), repeat)
     assert ok, "quiescent() returned False on a balanced counter set"
-    metrics["quiescent_checks_per_sec"] = cfg["quiescent_checks"] / wall
+    metrics["quiescent_scan_checks_per_sec"] = cfg["quiescent_checks"] / wall
+
+    scaling = _scaling_suite(mode)
+    metrics.update(scaling["metrics"])
+    digest.update(scaling["determinism"])
 
     return {"mode": mode, "metrics": metrics, "determinism": digest}
+
+
+def _scaling_suite(mode: str) -> typing.Dict[str, typing.Any]:
+    """Run the node-count sweep (lazy import: only driven via the suite)."""
+    try:
+        import bench_scaling_nodes
+    except ImportError:
+        import pathlib
+        import sys
+
+        sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+        import bench_scaling_nodes
+    return bench_scaling_nodes.run_scaling(mode)
 
 
 def assert_deterministic(mode: str = "smoke") -> typing.Dict[str, typing.Any]:

@@ -7,6 +7,8 @@ from repro.core.advancement import (
     DETECTORS,
     InterleavedDetector,
     TwoWaveDetector,
+    TwoWaveScanDetector,
+    TwoWaveVerifyDetector,
 )
 from repro.core.invariants import (
     InvariantMonitor,
@@ -45,6 +47,8 @@ __all__ = [
     "ThreeVSystem",
     "TransactionTriggerPolicy",
     "TwoWaveDetector",
+    "TwoWaveScanDetector",
+    "TwoWaveVerifyDetector",
     "check_all",
     "check_version_agreement",
     "check_version_bounds",

@@ -28,6 +28,16 @@ had completed by the end of wave 1 — and because no new root
 subtransaction can join an old version once Phase 1 acks are in,
 quiescence is a stable property and stays true.
 
+The production two-wave detector reads *aggregate totals* — one scalar
+per node per wave ("CT" then "RT") instead of a full per-peer row — and
+compares cluster-wide sums (:func:`repro.storage.counters.aggregate_quiescent`),
+making each poll O(nodes) instead of O(nodes²).  The ordering argument
+carries over unchanged: with completions read first, ``C_pq <= R_pq``
+per pair, so the scalar sums match iff every pair matches.
+:class:`TwoWaveScanDetector` keeps the original full-row scan as the
+debug/differential oracle, and :class:`TwoWaveVerifyDetector` runs both
+in one wave pair and cross-checks their verdicts.
+
 The unsound alternatives are provided for the C7 ablation:
 :class:`InterleavedDetector` (single combined wave) and
 :class:`ActivePollDetector` (the naive "is any transaction running on v?"
@@ -43,7 +53,7 @@ from repro.net.message import MessageKind
 from repro.net.network import Network
 from repro.sim.events import Event
 from repro.sim.simulator import Simulator
-from repro.storage.counters import quiescent
+from repro.storage.counters import aggregate_quiescent, quiescent
 from repro.txn.history import AdvancementRecord, History
 
 COORDINATOR_ID = "coordinator"
@@ -63,14 +73,81 @@ class QuiescenceDetector:
 
 
 class TwoWaveDetector(QuiescenceDetector):
-    """Sound detector: completions wave strictly before requests wave."""
+    """Sound detector: completions wave strictly before requests wave.
+
+    Production variant: each wave reads one *aggregate total* per node
+    ("CT" then "RT") and compares cluster-wide sums — O(nodes) per poll.
+    Same message count and wave order as the full-row scan, so it is a
+    drop-in sound replacement (see the module docstring for the argument).
+    """
 
     name = "two-wave"
+
+    def check(self, version: int):
+        completions = yield from self.coordinator.gather_counters(version, "CT")
+        requests = yield from self.coordinator.gather_counters(version, "RT")
+        return aggregate_quiescent(requests, completions)
+
+
+class TwoWaveScanDetector(QuiescenceDetector):
+    """Sound detector, full O(nodes²) per-peer row scan.
+
+    The original implementation, retained as the debug/differential
+    oracle for :class:`TwoWaveDetector`'s aggregate check.
+    """
+
+    name = "two-wave-scan"
 
     def check(self, version: int):
         completions = yield from self.coordinator.gather_counters(version, "C")
         requests = yield from self.coordinator.gather_counters(version, "R")
         return quiescent(requests, completions)
+
+
+class TwoWaveVerifyDetector(QuiescenceDetector):
+    """Sound detector running the aggregate check *and* the row scan on
+    the same wave pair, raising if they ever disagree.
+
+    Each wave carries ``(total, rows)`` per node ("CV" then "RV"); the
+    node asserts snapshot consistency (``total == sum(rows)``) is checked
+    here too, so a divergence pinpoints whether the incremental totals or
+    the aggregation argument broke.  Debug tool — one message per node
+    per wave like the others, but with O(nodes²) payload.
+    """
+
+    name = "two-wave-verify"
+
+    def check(self, version: int):
+        completions = yield from self.coordinator.gather_counters(version, "CV")
+        requests = yield from self.coordinator.gather_counters(version, "RV")
+        req_totals = {}
+        req_rows = {}
+        for node_id, (total, rows) in requests.items():
+            if total != sum(rows.values()):
+                raise ProtocolError(
+                    f"node {node_id}: request total {total} != row sum "
+                    f"{sum(rows.values())} for version {version}"
+                )
+            req_totals[node_id] = total
+            req_rows[node_id] = rows
+        comp_totals = {}
+        comp_rows = {}
+        for node_id, (total, rows) in completions.items():
+            if total != sum(rows.values()):
+                raise ProtocolError(
+                    f"node {node_id}: completion total {total} != row sum "
+                    f"{sum(rows.values())} for version {version}"
+                )
+            comp_totals[node_id] = total
+            comp_rows[node_id] = rows
+        aggregate = aggregate_quiescent(req_totals, comp_totals)
+        scan = quiescent(req_rows, comp_rows)
+        if aggregate != scan:
+            raise ProtocolError(
+                f"quiescence divergence for version {version}: "
+                f"aggregate={aggregate} scan={scan}"
+            )
+        return aggregate
 
 
 class InterleavedDetector(QuiescenceDetector):
@@ -104,6 +181,8 @@ class ActivePollDetector(QuiescenceDetector):
 
 DETECTORS = {
     TwoWaveDetector.name: TwoWaveDetector,
+    TwoWaveScanDetector.name: TwoWaveScanDetector,
+    TwoWaveVerifyDetector.name: TwoWaveVerifyDetector,
     InterleavedDetector.name: InterleavedDetector,
     ActivePollDetector.name: ActivePollDetector,
 }
@@ -148,6 +227,9 @@ class AdvancementCoordinator:
         self.running = False
         self.completed_runs = 0
         self._mailbox = network.register(COORDINATOR_ID)
+        #: Drain batched mailbox wakes synchronously (one resume per
+        #: batch of same-tick replies instead of one per reply).
+        self._drain = network.batch_delivery
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -228,11 +310,26 @@ class AdvancementCoordinator:
     # Messaging helpers
     # ------------------------------------------------------------------
 
+    def _receive(self):
+        """Take the coordinator's next message (batch-drain aware).
+
+        With batched delivery a wave's same-tick replies land in the
+        mailbox together; consuming the backlog via ``take_nowait`` skips
+        the event + scheduled resume a blocking ``get`` would cost per
+        message.
+        """
+        if self._drain:
+            message = self._mailbox.take_nowait()
+            if message is not None:
+                return message
+        message = yield self._mailbox.get()
+        return message
+
     def _collect_acks(self, kind: str, version: int):
         """Wait until every node acked ``(node_id, version)`` with ``kind``."""
         pending = set(self.node_ids)
         while pending:
-            message = yield self._mailbox.get()
+            message = yield from self._receive()
             if message.kind != kind:
                 raise ProtocolError(
                     f"coordinator expected {kind!r}, got {message.kind!r}"
@@ -249,17 +346,18 @@ class AdvancementCoordinator:
         """One asynchronous read wave of all nodes' counters.
 
         Returns:
-            ``{node_id: snapshot}`` where each snapshot maps a peer node to
-            a counter value.
+            ``{node_id: snapshot}``.  The snapshot shape depends on the
+            wave kind: a per-peer row dict for "R"/"C"/"ACTIVE", a scalar
+            total for "RT"/"CT", a ``(total, row)`` pair for "RV"/"CV".
         """
         for node_id in self.node_ids:
             self.network.send(
                 COORDINATOR_ID, node_id, MessageKind.COUNTER_READ,
                 (version, which),
             )
-        snapshots: typing.Dict[str, typing.Dict[str, int]] = {}
+        snapshots: typing.Dict[str, typing.Any] = {}
         while len(snapshots) < len(self.node_ids):
-            message = yield self._mailbox.get()
+            message = yield from self._receive()
             if message.kind != MessageKind.COUNTER_READ_REPLY:
                 raise ProtocolError(
                     f"coordinator expected counter reply, got {message.kind!r}"

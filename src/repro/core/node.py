@@ -357,10 +357,28 @@ class ThreeVPlugin(ProtocolPlugin):
         # two-wave detector's soundness argument pins each wave's values to
         # the moment the node processed the COUNTER_READ (see
         # CounterTable.requests_view).
-        if which == "R":
+        if which == "RT":
+            # Aggregate wave (production two-wave detector): one scalar —
+            # the incrementally-maintained total — instead of a row copy.
+            snapshot = node.counters.request_total(version)
+        elif which == "CT":
+            snapshot = node.counters.completion_total(version)
+        elif which == "R":
             snapshot = dict(node.counters.requests_view(version))
         elif which == "C":
             snapshot = dict(node.counters.completions_view(version))
+        elif which == "RV":
+            # Differential-verify wave: total and row from the same
+            # atomic moment, so the coordinator can cross-check them.
+            snapshot = (
+                node.counters.request_total(version),
+                dict(node.counters.requests_view(version)),
+            )
+        elif which == "CV":
+            snapshot = (
+                node.counters.completion_total(version),
+                dict(node.counters.completions_view(version)),
+            )
         elif which == "ACTIVE":
             # Support for the naive ActivePollDetector ablation: how many
             # subtransactions of this version are *executing right now* —

@@ -72,12 +72,14 @@ class ThreeVSystem(System):
         allow_noncommuting: bool = False,
         detail: bool = True,
         fifo_links: bool = False,
+        batch_delivery: bool = False,
         policy: typing.Optional[AdvancementPolicy] = None,
         faults=None,
     ):
         super().__init__(
             node_ids, seed=seed, latency=latency, node_config=node_config,
             detail=detail, fifo_links=fifo_links,
+            batch_delivery=batch_delivery,
             plugin=ThreeVPlugin(allow_noncommuting=allow_noncommuting),
             faults=faults,
         )
@@ -134,7 +136,7 @@ class ThreeVSystem(System):
 
 def _build_3v(node_ids, *, seed, latency, node_config, detail,
               advancement_period, safety_delay, poll_interval,
-              allow_noncommuting, faults=None):
+              allow_noncommuting, faults=None, batch_delivery=False):
     from repro.core.policy import PeriodicPolicy
 
     return ThreeVSystem(
@@ -142,6 +144,7 @@ def _build_3v(node_ids, *, seed, latency, node_config, detail,
         poll_interval=poll_interval, detail=detail,
         allow_noncommuting=allow_noncommuting,
         policy=PeriodicPolicy(advancement_period), faults=faults,
+        batch_delivery=batch_delivery,
     )
 
 

@@ -70,6 +70,12 @@ PARAMETERS: typing.Tuple[Parameter, ...] = (
               "fraction of recordings that abort (compensation)"),
     Parameter("poll-interval", "poll_interval", float, 0.5,
               "advancement counter poll interval (3V)"),
+    Parameter("batch-delivery", "batch_delivery", int, 0,
+              "coalesce same-tick same-destination message deliveries "
+              "(0=off, 1=on; changes the scheduled-event trace)"),
+    Parameter("latency-jitter", "latency_jitter", float, 1.0,
+              "width of the uniform latency window around mean 1.0 "
+              "(1.0 = the historic Uniform(0.5, 1.5); 0 = constant)"),
     # Fault-injection axes (repro.faults): all-zero means no fault
     # machinery is attached and the run is bit-identical to the seed path.
     Parameter("drop-rate", "drop_rate", float, 0.0,
@@ -146,6 +152,8 @@ class ExperimentSpec:
     advancement_period: float = 10.0
     safety_delay: float = 5.0
     poll_interval: float = 0.5
+    batch_delivery: int = 0
+    latency_jitter: float = 1.0
     amount_mode: str = "bitmask"
     abort_fraction: float = 0.0
     detail: bool = True

@@ -85,6 +85,13 @@ class ExperimentSummary:
     messages_duplicated: int = 0
     crashes: int = 0
     recoveries: int = 0
+    # delivery batching (zero unless the spec set batch_delivery)
+    delivery_batches: int = 0
+    batched_messages: int = 0
+    # worker-side wall-clock of the simulation itself (excluded from the
+    # determinism digest: it is the one machine-dependent field, kept so
+    # scaling benchmarks can compare configurations through the fleet)
+    wall_seconds: float = 0.0
 
     def determinism_digest(self) -> str:
         """Hex digest of the run's discrete counts.
@@ -163,6 +170,8 @@ def summarize(spec: ExperimentSpec, result, report) -> ExperimentSummary:
         messages_duplicated=stats.duplicated,
         crashes=getattr(result.system, "crash_count", 0),
         recoveries=getattr(result.system, "recovery_count", 0),
+        delivery_batches=stats.batches,
+        batched_messages=stats.batched_messages,
     )
 
 
@@ -172,12 +181,18 @@ def run_spec(spec: ExperimentSpec) -> ExperimentSummary:
     This is the fleet's worker entry point: heavyweight ``System`` /
     ``History`` objects live and die inside the calling process.
     """
+    import time
+
     from repro.workloads import run_recording_experiment
 
+    t0 = time.perf_counter()
     result = run_recording_experiment(spec.protocol, **spec.run_kwargs())
+    wall = time.perf_counter() - t0
     check_snapshots = (
         spec.protocol == "3v" and spec.amount_mode == "bitmask" and spec.detail
     )
     report = audit(result.history, result.workload,
                    check_snapshots=check_snapshots)
-    return summarize(spec, result, report)
+    return dataclasses.replace(
+        summarize(spec, result, report), wall_seconds=wall
+    )

@@ -11,7 +11,6 @@ fault-injection tests to show advancement still terminates).
 from __future__ import annotations
 
 import typing
-import warnings
 
 from repro.errors import SimulationError
 from repro.sim.distributions import Constant, Distribution, RngRegistry
@@ -104,28 +103,17 @@ class PartitionedLatency(LatencyModel):
         stalled_links: typing.Iterable[typing.Tuple[str, str]],
         start: float,
         end: float,
-        now: typing.Optional[typing.Callable[[], float]] = None,
     ):
         if end < start:
             raise SimulationError(f"partition window reversed: [{start}, {end}]")
-        if now is not None:
-            warnings.warn(
-                "PartitionedLatency(now=...) is deprecated; the Network "
-                "binds the simulator clock automatically via bind_clock()",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         self.base = base
         self.stalled_links = frozenset(stalled_links)
         self.start = start
         self.end = end
-        self._now = now
+        self._now: typing.Optional[typing.Callable[[], float]] = None
 
     def bind_clock(self, now: typing.Callable[[], float]) -> None:
-        # An explicitly passed clock (deprecated path) wins, so old tests
-        # that pin "now" to a constant keep their meaning.
-        if self._now is None:
-            self._now = now
+        self._now = now
         self.base.bind_clock(now)
 
     def delay(self, src: str, dst: str, rngs: RngRegistry) -> float:
@@ -133,7 +121,7 @@ class PartitionedLatency(LatencyModel):
         if self._now is None:
             raise SimulationError(
                 "PartitionedLatency has no clock; attach the model to a "
-                "Network/System first (bind_clock) or pass now= explicitly"
+                "Network/System first (bind_clock happens on construction)"
             )
         now = self._now()
         if (src, dst) in self.stalled_links and self.start <= now < self.end:

@@ -37,7 +37,7 @@ class NetworkStats:
     """
 
     __slots__ = ("_by_kind", "retransmits", "dup_suppressed", "dropped",
-                 "duplicated")
+                 "duplicated", "batches", "batched_messages")
 
     def __init__(self):
         self._by_kind: typing.Dict[str, typing.List[float]] = {}
@@ -49,6 +49,11 @@ class NetworkStats:
         self.dropped = 0
         #: Extra copies injected by the fault injector.
         self.duplicated = 0
+        #: Batch delivery events scheduled, one per distinct delivery
+        #: tick (``batch_delivery`` mode only).
+        self.batches = 0
+        #: Messages that rode along in an already-scheduled batch.
+        self.batched_messages = 0
 
     def record(self, kind: str, latency: float) -> None:
         try:
@@ -111,6 +116,16 @@ class Network:
         fifo_links: If ``True``, enforce per-``(src, dst)`` FIFO delivery by
             clamping each delivery time to be no earlier than the previous
             delivery on the same link.
+        batch_delivery: If ``True``, coalesce all deliveries due at the
+            same simulated time into one scheduled batch event (one heap
+            entry, and one mailbox wake per destination, instead of N of
+            each).  Within the tick messages deliver in transmission
+            order — exactly the order the unbatched per-message callbacks
+            would have run in, so anything triggered *by* a delivery
+            (e.g. the reliable layer's acks) also keeps its order and its
+            fault-RNG draw sequence.  Only the scheduled-callback trace
+            differs, so determinism digests are comparable between runs
+            with the same setting only (hence opt-in, default off).
     """
 
     def __init__(
@@ -119,15 +134,20 @@ class Network:
         rngs: typing.Optional[RngRegistry] = None,
         latency: typing.Optional[LatencyModel] = None,
         fifo_links: bool = False,
+        batch_delivery: bool = False,
     ):
         self.sim = sim
         self.rngs = rngs if rngs is not None else RngRegistry(0)
         self.latency = latency if latency is not None else constant_latency(1.0)
         self.latency.bind_clock(lambda: sim.now)
         self.fifo_links = fifo_links
+        # bool() so the experiment layer's 0/1 integer parameter works.
+        self.batch_delivery = bool(batch_delivery)
         self.stats = NetworkStats()
         self._mailboxes: typing.Dict[str, Store] = {}
         self._last_delivery: typing.Dict[typing.Tuple[str, str], float] = {}
+        #: Open delivery batches, keyed by delivery tick (batch mode).
+        self._batches: typing.Dict[float, list] = {}
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -197,7 +217,41 @@ class Network:
             self._last_delivery[link] = deliver_at
             delay = deliver_at - now
         self.stats.record(message.kind, delay)
-        sim.schedule(delay, self._deliver, message)
+        self._schedule_delivery(message, delay)
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        """Schedule one already-faulted, already-recorded physical copy.
+
+        Sits *below* the fault injector's ``_transmit`` override: drops,
+        spikes, and duplications have all happened by the time a copy
+        reaches here, so batching cannot perturb per-message fault draws.
+        In batch mode all copies due at the same tick share one scheduled
+        callback and deliver in transmission order — the exact order
+        separate same-tick callbacks would have run them in.  Keying by
+        tick alone (not per destination) matters for fault equivalence:
+        anything a delivery *triggers* (the reliable layer transmits an
+        ack per data copy) happens in the same global order as unbatched,
+        so the fault injector's RNG streams are consumed identically.
+        """
+        sim = self.sim
+        if not self.batch_delivery:
+            sim.schedule(delay, self._deliver, message)
+            return
+        key = sim.now + delay
+        batch = self._batches.get(key)
+        if batch is not None:
+            batch.append(message)
+            self.stats.batched_messages += 1
+            return
+        self._batches[key] = [message]
+        self.stats.batches += 1
+        sim.schedule_at(key, self._deliver_batch, key)
+
+    def _deliver_batch(self, key: float) -> None:
+        # Delivery goes through _deliver per message, preserving the
+        # reliable layer's per-copy ack/dedup override.
+        for message in self._batches.pop(key):
+            self._deliver(message)
 
     def _deliver(self, message: Message) -> None:
         message.delivered_at = self.sim.now

@@ -36,6 +36,11 @@ class System:
         detail: Record per-operation events in the history (turn off for
             very large benchmark runs).
         fifo_links: Enforce per-link FIFO message delivery.
+        batch_delivery: Coalesce same-tick same-destination deliveries
+            into one scheduled batch event and drain node mailboxes in
+            one pass per wake (see :class:`repro.net.network.Network`).
+            Changes the scheduled-callback trace, so compare determinism
+            digests only between runs with the same setting.
         plugin: Protocol plugin instance (default: ``plugin_class()``).
         faults: Optional :class:`repro.faults.FaultPlan`.  Swaps the
             network for the fault injector (plus the reliable-delivery
@@ -55,6 +60,7 @@ class System:
         node_config: typing.Optional[NodeConfig] = None,
         detail: bool = True,
         fifo_links: bool = False,
+        batch_delivery: bool = False,
         plugin: typing.Optional[ProtocolPlugin] = None,
         faults=None,
     ):
@@ -70,12 +76,12 @@ class System:
 
             self.network = build_network(
                 self.sim, faults, rngs=self.rngs, latency=latency,
-                fifo_links=fifo_links,
+                fifo_links=fifo_links, batch_delivery=batch_delivery,
             )
         else:
             self.network = Network(
                 self.sim, rngs=self.rngs, latency=latency,
-                fifo_links=fifo_links,
+                fifo_links=fifo_links, batch_delivery=batch_delivery,
             )
         self.history = History(detail=detail)
         self.config = node_config if node_config is not None else NodeConfig()

@@ -53,6 +53,15 @@ class ReferenceSimulator:
         self._sequence += 1
         heapq.heappush(self._heap, (self.now, self._sequence, callback, args))
 
+    def schedule_at(self, time: float, callback, *args) -> None:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"schedule_at time {time!r} is in the past ({self.now!r})"
+            )
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, self._sequence, callback, args))
+
     def event(self) -> Event:
         return Event(self)
 

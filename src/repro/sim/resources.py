@@ -141,6 +141,20 @@ class Store:
             self._getters.append(event)
         return event
 
+    def take_nowait(self):
+        """Take the oldest queued item without blocking.
+
+        Returns:
+            The item, or ``None`` when the store is empty (or frozen).
+            This is the mailbox-drain primitive for batched delivery: a
+            consumer that just woke from :meth:`get` empties the backlog
+            synchronously instead of paying one event + one scheduled
+            callback per queued item.
+        """
+        if self._items and not self._frozen:
+            return self._items.popleft()
+        return None
+
     def drain(self) -> list:
         """Remove and return all currently queued items without blocking."""
         items = list(self._items)

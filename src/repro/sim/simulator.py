@@ -90,6 +90,25 @@ class Simulator:
         self._sequence += 1
         self._fifo.append((self._sequence, callback, args))
 
+    def schedule_at(self, time: float, callback, *args) -> None:
+        """Run ``callback(*args)`` at absolute simulated ``time``.
+
+        Equivalent to ``schedule(time - now, ...)`` but without the
+        float round-trip: the heap entry carries ``time`` exactly, so a
+        caller keying state on a delivery timestamp (the network's batch
+        coalescing) sees the identical value when the callback fires.
+        """
+        if time <= self.now:
+            if time < self.now:
+                raise SimulationError(
+                    f"schedule_at time {time!r} is in the past ({self.now!r})"
+                )
+            self._sequence += 1
+            self._fifo.append((self._sequence, callback, args))
+            return
+        self._sequence += 1
+        heappush(self._heap, (time, self._sequence, callback, args))
+
     def event(self) -> Event:
         """Create a fresh untriggered event."""
         return Event(self)

@@ -15,6 +15,24 @@ coordinator assembles the global ``R[v][p][q] == C[v][p][q]`` check from
 per-node snapshots read asynchronously (see
 :mod:`repro.core.advancement` for the two-wave protocol that makes those
 asynchronous reads sound).
+
+Aggregate quiescence
+--------------------
+
+Alongside the per-peer rows each table maintains *per-version aggregate
+totals* — ``sum(R[v])`` and ``sum(C[v])`` — incrementally on every
+increment.  Because a completion can only ever be counted for a request
+that was counted strictly earlier, ``C[v][p][q] <= R[v][p][q]`` holds
+per pair under the two-wave read order, so
+
+    ``sum_pq R[v][p][q] == sum_pq C[v][p][q]``  ⟺  pairwise equality
+
+and the coordinator's quiescence check collapses from an O(nodes²)
+counter scan (:func:`quiescent`) to summing one scalar per node
+(:func:`aggregate_quiescent`).  The full scan is retained as the
+debug/differential oracle; ``tests/test_aggregate_quiescence.py``
+property-checks the equivalence (including re-derivation of the totals
+through WAL replay).
 """
 
 from __future__ import annotations
@@ -32,13 +50,19 @@ _EMPTY: typing.Dict[str, int] = {}
 class CounterTable:
     """Request/completion counters held by a single node."""
 
-    __slots__ = ("node_id", "_requests", "_completions", "_gc_floor",
-                 "lost_increments")
+    __slots__ = ("node_id", "_requests", "_completions", "_req_totals",
+                 "_comp_totals", "_gc_floor", "lost_increments")
 
     def __init__(self, node_id: str):
         self.node_id = node_id
         self._requests: typing.Dict[int, typing.Dict[str, int]] = {}
         self._completions: typing.Dict[int, typing.Dict[str, int]] = {}
+        # Aggregate totals per version, maintained incrementally so the
+        # quiescence path never scans the rows.  An allocated version
+        # always has a totals entry, which doubles as the existence check
+        # on the increment fast paths.
+        self._req_totals: typing.Dict[int, int] = {}
+        self._comp_totals: typing.Dict[int, int] = {}
         # Versions below this were garbage-collected.  Increments aimed at
         # them are *dropped* (and counted): this only happens when an
         # unsound quiescence detector collected a version that still had
@@ -59,8 +83,10 @@ class CounterTable:
             return
         if version not in self._requests:
             self._requests[version] = {}
+            self._req_totals[version] = 0
         if version not in self._completions:
             self._completions[version] = {}
+            self._comp_totals[version] = 0
 
     def versions(self) -> typing.List[int]:
         """Sorted list of versions with allocated counters."""
@@ -72,7 +98,8 @@ class CounterTable:
         numbers smaller than vr_new")."""
         if self._gc_floor is None or version > self._gc_floor:
             self._gc_floor = version
-        for table in (self._requests, self._completions):
+        for table in (self._requests, self._completions,
+                      self._req_totals, self._comp_totals):
             for v in [v for v in table if v < version]:
                 del table[v]
 
@@ -87,11 +114,15 @@ class CounterTable:
 
     def inc_request(self, version: int, dst: str) -> None:
         """Count a subtransaction sent from this node to ``dst``."""
+        # The totals entry doubles as the version-existence check: an
+        # allocated version always has one, so the common case is exactly
+        # two dict hits (total bump + cell bump).
         try:
-            row = self._requests[version]
+            self._req_totals[version] += 1
         except KeyError:
             self._miss("request", version)
             return
+        row = self._requests[version]
         try:
             row[dst] += 1
         except KeyError:
@@ -100,10 +131,11 @@ class CounterTable:
     def inc_completion(self, version: int, src: str) -> None:
         """Count a subtransaction invoked from ``src`` completing here."""
         try:
-            row = self._completions[version]
+            self._comp_totals[version] += 1
         except KeyError:
             self._miss("completion", version)
             return
+        row = self._completions[version]
         try:
             row[src] += 1
         except KeyError:
@@ -156,6 +188,25 @@ class CounterTable:
     def completion_count(self, version: int, src: str) -> int:
         return self._completions.get(version, _EMPTY).get(src, 0)
 
+    def request_total(self, version: int) -> int:
+        """Incrementally-maintained ``sum(R[version].values())``."""
+        return self._req_totals.get(version, 0)
+
+    def completion_total(self, version: int) -> int:
+        """Incrementally-maintained ``sum(C[version].values())``."""
+        return self._comp_totals.get(version, 0)
+
+    def outstanding(self, version: int) -> int:
+        """``sum(R[version]) - sum(C[version])`` for this node's tables.
+
+        Note this is a *local* difference; a node's requests complete at
+        other nodes, so cluster-wide quiescence compares the *sums* of
+        these totals across nodes (:func:`aggregate_quiescent`), not the
+        per-node differences.
+        """
+        return (self._req_totals.get(version, 0)
+                - self._comp_totals.get(version, 0))
+
 
 def quiescent(
     request_snapshots: typing.Dict[str, typing.Dict[str, int]],
@@ -189,3 +240,30 @@ def quiescent(
             if done != request_snapshots.get(p, _EMPTY).get(q, 0):
                 return False
     return True
+
+
+def aggregate_quiescent(
+    request_totals: typing.Mapping[str, int],
+    completion_totals: typing.Mapping[str, int],
+) -> bool:
+    """O(nodes) quiescence check from per-node aggregate totals.
+
+    Args:
+        request_totals: ``{p: sum_q R_pq}`` — one scalar per sending node.
+        completion_totals: ``{q: sum_p C_pq}`` — one scalar per executing
+            node, read strictly *before* the request totals (two-wave rule).
+
+    Returns:
+        ``True`` iff the cluster-wide request sum equals the cluster-wide
+        completion sum.
+
+    Soundness:
+        Equivalent to the pairwise scan (:func:`quiescent`) under the
+        two-wave read order.  Every completion increment is preceded by
+        its matching request increment, so with completions read first
+        each pair satisfies ``C_pq <= R_pq`` — a sum of non-negative
+        slacks is zero iff every slack is zero, i.e. the scalar equality
+        implies (and is implied by) pairwise equality.
+    """
+    return (sum(request_totals.values())
+            == sum(completion_totals.values()))

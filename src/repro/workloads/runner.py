@@ -34,9 +34,21 @@ __all__ = [
 # automatically.
 
 
-def default_latency() -> LatencyModel:
-    """A mildly variable LAN: mean 1.0, enough jitter to reorder messages."""
-    return UniformLatency(Uniform(0.5, 1.5))
+def default_latency(jitter: float = 1.0) -> LatencyModel:
+    """A mildly variable LAN: mean 1.0, enough jitter to reorder messages.
+
+    ``jitter`` is the width of the uniform window around the mean:
+    ``1.0`` (the default) is the historic ``Uniform(0.5, 1.5)`` model,
+    ``0.0`` degenerates to a constant 1.0 — the regime where same-tick
+    delivery batching has waves to coalesce.
+    """
+    if jitter < 0:
+        raise ValueError(f"latency jitter must be >= 0: {jitter}")
+    if jitter == 0.0:
+        from repro.net.latency import constant_latency
+
+        return constant_latency(1.0)
+    return UniformLatency(Uniform(1.0 - jitter / 2, 1.0 + jitter / 2))
 
 
 @dataclasses.dataclass
@@ -71,10 +83,16 @@ def build_system(
     executor_capacity: int = 1,
     poll_interval: float = 0.5,
     faults=None,
+    batch_delivery: bool = False,
+    latency_jitter: float = 1.0,
 ):
-    """Instantiate any registered protocol behind a uniform interface."""
+    """Instantiate any registered protocol behind a uniform interface.
+
+    ``latency_jitter`` shapes the default latency model and is ignored
+    when an explicit ``latency`` is supplied.
+    """
     if latency is None:
-        latency = default_latency()
+        latency = default_latency(latency_jitter)
     config = NodeConfig(
         op_service=Constant(op_service),
         executor_capacity=executor_capacity,
@@ -84,6 +102,7 @@ def build_system(
         detail=detail, advancement_period=advancement_period,
         safety_delay=safety_delay, poll_interval=poll_interval,
         allow_noncommuting=allow_noncommuting, faults=faults,
+        batch_delivery=batch_delivery,
     )
 
 

@@ -51,8 +51,27 @@ class TestSmokeSuite:
             "counter_incs_per_sec",
             "mvstore_ops_per_sec",
             "quiescent_checks_per_sec",
+            "quiescent_scan_checks_per_sec",
+            "scaling_advancement_events_per_sec_16",
+            "scaling_batch_speedup_16",
         }
         assert set(suite["metrics"]) == expected
+
+    def test_aggregate_check_is_the_fast_path(self, suite):
+        """The tracked quiescence metric is the aggregate-total path; the
+        O(nodes²) scan stays on the books as the (much slower) oracle."""
+        assert (suite["metrics"]["quiescent_checks_per_sec"]
+                > 5 * suite["metrics"]["quiescent_scan_checks_per_sec"])
+
+    def test_scaling_cells_present_in_digest(self, suite):
+        for nodes in (4, 8, 16):
+            for key in (f"scaling_events_{nodes:02d}",
+                        f"scaling_events_batched_{nodes:02d}",
+                        f"scaling_messages_{nodes:02d}",
+                        f"scaling_advancement_runs_{nodes:02d}"):
+                assert key in suite["determinism"], key
+            assert (suite["determinism"][f"scaling_events_batched_{nodes:02d}"]
+                    < suite["determinism"][f"scaling_events_{nodes:02d}"])
 
     def test_e2e_workload_is_deterministic(self, suite):
         digest = bench_hotpath.assert_deterministic("smoke")
@@ -131,4 +150,28 @@ class TestCheckGate:
                                out=lambda *_: None)
         fresh = self.fresh({"a_per_sec": 9.0}, {"events": 8})
         assert not bench_cli.check(self.BASELINE, fresh, "smoke", 0.25,
+                                   out=lambda *_: None)
+
+    def test_smoke_never_compares_against_full_tables(self):
+        """Like-for-like only: a smoke run that would fail against the
+        full-mode numbers still passes when its own table is healthy."""
+        baseline = dict(self.BASELINE)
+        fresh = self.fresh({"a_per_sec": 9.0, "b_per_sec": 1.0},
+                           {"events": 7})
+        # b_per_sec is 1000x down vs the *full* table, which must not
+        # matter in smoke mode (it has no smoke baseline entry).
+        assert bench_cli.check(baseline, fresh, "smoke", 0.25,
+                               out=lambda *_: None)
+
+    def test_fails_when_baseline_lacks_mode_tables(self):
+        """A baseline written before a mode existed must fail that
+        mode's gate rather than vacuously passing on empty tables."""
+        full_only = {"metrics": {"a_per_sec": 100.0},
+                     "determinism": {"events": 42}}
+        fresh = self.fresh({"a_per_sec": 100.0}, {"events": 42})
+        assert not bench_cli.check(full_only, fresh, "smoke", 0.25,
+                                   out=lambda *_: None)
+        smoke_only = {"smoke_metrics": {"a_per_sec": 10.0},
+                      "smoke_determinism": {"events": 7}}
+        assert not bench_cli.check(smoke_only, fresh, "full", 0.25,
                                    out=lambda *_: None)

@@ -166,18 +166,28 @@ class TestLatencyModels:
                 end=1.0,
             )
 
-    def test_partition_now_kwarg_deprecated_but_honoured(self, sim):
-        rngs = RngRegistry(1)
-        with pytest.warns(DeprecationWarning):
-            model = PartitionedLatency(
+    def test_partition_now_kwarg_removed(self, sim):
+        # The PR-4 deprecation shim is gone: the clock arrives only via
+        # bind_clock (which the owning Network calls on construction).
+        with pytest.raises(TypeError):
+            PartitionedLatency(
                 base=constant_latency(1.0),
                 stalled_links=[("p", "q")],
                 start=0.0,
                 end=100.0,
                 now=lambda: 200.0,
             )
-        # An explicitly passed clock wins over a later bind_clock.
+
+    def test_rebinding_clock_wins(self, sim):
+        rngs = RngRegistry(1)
+        model = PartitionedLatency(
+            base=constant_latency(1.0),
+            stalled_links=[("p", "q")],
+            start=0.0,
+            end=100.0,
+        )
         model.bind_clock(lambda: 0.0)
+        model.bind_clock(lambda: 200.0)
         assert model.delay("p", "q", rngs) == pytest.approx(1.0)
 
     def test_partition_without_clock_raises(self, sim):

@@ -55,6 +55,9 @@ PROFILE_TARGETS = {
     "quiescent": lambda cfg: (
         lambda: bench_hotpath.quiescent_storm(cfg["quiescent_checks"],
                                               cfg["quiescent_nodes"])),
+    "quiescent_aggregate": lambda cfg: (
+        lambda: bench_hotpath.aggregate_quiescent_storm(
+            cfg["aggregate_checks"], cfg["quiescent_nodes"])),
 }
 
 
@@ -141,7 +144,17 @@ def check(baseline: dict, fresh: dict, mode: str, tolerance: float,
     """
     metrics_key = "metrics" if mode == "full" else "smoke_metrics"
     digest_key = "determinism" if mode == "full" else "smoke_determinism"
-    committed = baseline.get(metrics_key, {})
+    # Like-for-like only: a smoke run is gated exclusively against the
+    # smoke tables and a full run against the full tables (their sizings
+    # differ severalfold, so cross-comparison is meaningless).  A baseline
+    # missing its mode's tables fails rather than vacuously passing.
+    missing = [key for key in (metrics_key, digest_key)
+               if key not in baseline]
+    if missing:
+        out(f"baseline has no {'/'.join(missing)} table(s) for "
+            f"mode={mode}; run --update first")
+        return False
+    committed = baseline[metrics_key]
     ok = True
     for name, old in committed.items():
         new = fresh["metrics"].get(name)
@@ -156,7 +169,7 @@ def check(baseline: dict, fresh: dict, mode: str, tolerance: float,
             ok = False
         out(f"{verdict:>9}  {name}: {_fmt(old)} -> {_fmt(new)} "
             f"({ratio:.2f}x)")
-    committed_digest = baseline.get(digest_key, {})
+    committed_digest = baseline[digest_key]
     fresh_digest = fresh["determinism"]
     for name, old in committed_digest.items():
         new = fresh_digest.get(name)
