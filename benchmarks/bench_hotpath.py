@@ -24,9 +24,12 @@ test budget):
   aggregate-total path the two-wave detector actually polls (one scalar
   per node per wave); ``quiescent_scan_checks_per_sec`` keeps the full
   O(nodes²) differential-oracle scan on the books.
-* The node-count scaling sweep (``bench_scaling_nodes``) rides along:
-  its ``scaling_*`` metrics and per-cell determinism counts merge into
-  this suite's output so ``tools/bench.py --check`` gates them.
+* The node-count scaling sweep (``bench_scaling_nodes``) and the
+  transaction-volume sweep (``bench_volume``) ride along: their
+  ``scaling_*`` / ``volume_*`` metrics and per-cell determinism counts
+  merge into this suite's output so ``tools/bench.py --check`` gates
+  them — including the streaming-mode memory-flatness ratio and the
+  streaming-vs-materialized equivalence assert.
 * ``*_vs_reference`` — the same kernel workloads on
   :class:`~repro.sim.reference.ReferenceSimulator` (the seed pure-heap
   scheduler), giving a live optimized-vs-seed kernel speedup.
@@ -339,24 +342,29 @@ def run_suite(mode: str = "full", jobs: int = 1
     assert ok, "quiescent() returned False on a balanced counter set"
     metrics["quiescent_scan_checks_per_sec"] = cfg["quiescent_checks"] / wall
 
-    scaling = _scaling_suite(mode)
+    scaling = _sibling_suite("bench_scaling_nodes").run_scaling(mode)
     metrics.update(scaling["metrics"])
     digest.update(scaling["determinism"])
+
+    volume = _sibling_suite("bench_volume").run_volume(mode, jobs=jobs)
+    metrics.update(volume["metrics"])
+    digest.update(volume["determinism"])
 
     return {"mode": mode, "metrics": metrics, "determinism": digest}
 
 
-def _scaling_suite(mode: str) -> typing.Dict[str, typing.Any]:
-    """Run the node-count sweep (lazy import: only driven via the suite)."""
+def _sibling_suite(name: str):
+    """Import a ride-along benchmark module (lazy: only via the suite)."""
+    import importlib
+
     try:
-        import bench_scaling_nodes
+        return importlib.import_module(name)
     except ImportError:
         import pathlib
         import sys
 
         sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
-        import bench_scaling_nodes
-    return bench_scaling_nodes.run_scaling(mode)
+        return importlib.import_module(name)
 
 
 def assert_deterministic(mode: str = "smoke") -> typing.Dict[str, typing.Any]:

@@ -20,13 +20,18 @@ from repro.analysis.metrics import (
     wait_summary,
 )
 from repro.analysis.report import Table, fmt
+from repro.analysis.rolling import RollingAuditor
 from repro.analysis.stats import (
     ConfidenceInterval,
     mean_ci,
     replicate,
     welch_p_value,
 )
-from repro.analysis.tracefile import export_history, load_txn_records
+from repro.analysis.tracefile import (
+    TraceStreamWriter,
+    export_history,
+    load_txn_records,
+)
 from repro.analysis.serializability import (
     Violation,
     atomic_visibility_violations,
@@ -39,7 +44,9 @@ __all__ = [
     "ConfidenceInterval",
     "ConflictEdge",
     "LatencySummary",
+    "RollingAuditor",
     "Table",
+    "TraceStreamWriter",
     "Violation",
     "abort_rate",
     "atomic_visibility_violations",

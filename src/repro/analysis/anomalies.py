@@ -60,15 +60,12 @@ def audit(history: History, workload=None,
         if workload is None:
             raise ValueError("snapshot checking requires the workload oracle")
         snapshot = snapshot_violations(history, workload)
-    compensated = sum(
-        1 for record in history.txns.values() if record.compensated
-    )
     return AnomalyReport(
         reads_checked=reads_checked(history),
         fractured_reads=len(fractured),
         snapshot_mismatches=len(snapshot),
-        aborted_txns=len(history.aborted_txns()),
-        compensated_txns=compensated,
+        aborted_txns=history.aborted_count(),
+        compensated_txns=history.compensated_count(),
         violations=fractured + snapshot,
     )
 

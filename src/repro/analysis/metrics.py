@@ -8,52 +8,29 @@ apples-to-apples.
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
 from repro.txn.history import History, TxnKind
 
+# The exact percentile function and the summary container live with the
+# streaming statistics (`repro.txn.streamstats`) so the streaming history
+# can build summaries without importing the analysis layer; this module
+# re-exports them under their historic names.  ``LatencySummary.of`` uses
+# ``math.fsum`` for the mean, so materialized and streaming summaries of
+# the same population are bit-identical regardless of fold order.
+from repro.txn.streamstats import LatencySummary, percentile
 
-def percentile(values: typing.Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile (``q`` in [0, 100])."""
-    if not values:
-        raise ValueError("percentile of empty sequence")
-    if not 0 <= q <= 100:
-        raise ValueError(f"percentile out of range: {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    position = (len(ordered) - 1) * q / 100.0
-    lower = int(position)
-    fraction = position - lower
-    if lower + 1 >= len(ordered):
-        return ordered[-1]
-    return ordered[lower] * (1 - fraction) + ordered[lower + 1] * fraction
-
-
-@dataclasses.dataclass
-class LatencySummary:
-    """Distribution summary of one latency population."""
-
-    count: int
-    mean: float
-    p50: float
-    p95: float
-    p99: float
-    max: float
-
-    @classmethod
-    def of(cls, values: typing.Sequence[float]) -> "LatencySummary":
-        if not values:
-            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
-        return cls(
-            count=len(values),
-            mean=sum(values) / len(values),
-            p50=percentile(values, 50),
-            p95=percentile(values, 95),
-            p99=percentile(values, 99),
-            max=max(values),
-        )
+__all__ = [
+    "LatencySummary",
+    "abort_rate",
+    "closed_at_from_history",
+    "latency_summary",
+    "max_remote_wait",
+    "percentile",
+    "staleness_summary",
+    "throughput",
+    "wait_summary",
+]
 
 
 def latency_summary(
@@ -68,6 +45,8 @@ def latency_summary(
         which: ``"local"`` (user-perceived root commit) or ``"global"``
             (whole tree completed).
     """
+    if history.streaming:
+        return history.latency_stats(kind, which)
     values = []
     for record in history.committed_txns(kind):
         latency = (
@@ -88,15 +67,17 @@ def throughput(history: History, duration: float,
 
 def abort_rate(history: History) -> float:
     """Fraction of all finished transactions that aborted."""
-    total = len(history.txns)
+    total = history.total_txns
     if total == 0:
         return 0.0
-    return len(history.aborted_txns()) / total
+    return history.aborted_count() / total
 
 
 def wait_summary(history: History, kind: typing.Optional[str] = None
                  ) -> typing.Dict[str, float]:
     """Total wait time per :class:`~repro.txn.history.WaitReason`."""
+    if history.streaming:
+        return history.wait_summary(kind)
     totals: typing.Dict[str, float] = {}
     for record in history.committed_txns(kind):
         for reason, duration in record.waits.items():
@@ -108,6 +89,8 @@ def max_remote_wait(history: History, kind: typing.Optional[str] = None
                     ) -> float:
     """Largest remote-activity wait any committed transaction suffered —
     Theorem 4.2 says this is exactly 0 for well-behaved 3V traffic."""
+    if history.streaming:
+        return history.max_remote_wait(kind)
     waits = [r.remote_wait for r in history.committed_txns(kind)]
     return max(waits) if waits else 0.0
 
@@ -140,6 +123,11 @@ def staleness_summary(
     submitted: ``submit_time - closed_at[version]``.  A system serving
     fresh data (no versioning) has staleness 0 by construction.
     """
+    if history.streaming:
+        # Streaming histories fold staleness at retirement (eager folding
+        # is provably equal to the end-of-run computation); an explicit
+        # closed_at override is a materialized-only feature.
+        return history.staleness_stats()
     if closed_at is None:
         closed_at = closed_at_from_history(history)
     values = []

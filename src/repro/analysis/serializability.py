@@ -23,6 +23,7 @@ counts and benchmarks can tabulate anomaly rates.
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing
 
 from repro.txn.history import History, TxnKind
@@ -36,6 +37,36 @@ class Violation:
     txn: str
     key: typing.Hashable
     details: str
+
+
+#: Tolerance for comparing float balances across nodes.  Money-mode
+#: amounts commute *semantically* but float addition is not associative:
+#: the same increments applied in different per-node arrival orders can
+#: differ in the last few ULPs.  A real fractured read is off by at
+#: least one whole update amount (cents), ~10^7 times this tolerance,
+#: so drift never masks a genuine violation.  Bitmask-mode values are
+#: ints and always compared exactly.
+FLOAT_DRIFT_TOLERANCE = 1e-9
+
+
+def effectively_distinct(values: typing.Iterable) -> set:
+    """The distinct values, treating ULP-drifted floats as equal.
+
+    Non-float values (bitmask ints, ``None``) keep exact set semantics;
+    floats are clustered with a relative-and-absolute tolerance of
+    :data:`FLOAT_DRIFT_TOLERANCE`.
+    """
+    exact = set(values)
+    floats = sorted(v for v in exact if isinstance(v, float))
+    if len(floats) <= 1:
+        return exact
+    clusters = [floats[0]]
+    for value in floats[1:]:
+        if not math.isclose(value, clusters[-1],
+                            rel_tol=FLOAT_DRIFT_TOLERANCE,
+                            abs_tol=FLOAT_DRIFT_TOLERANCE):
+            clusters.append(value)
+    return {v for v in exact if not isinstance(v, float)} | set(clusters)
 
 
 def _reads_by_txn_and_key(history: History) -> typing.Dict[
@@ -61,7 +92,8 @@ def atomic_visibility_violations(history: History) -> typing.List[Violation]:
     for txn, by_key in _reads_by_txn_and_key(history).items():
         for key, events in by_key.items():
             values = {(event.node, event.value) for event in events}
-            distinct = {value for _node, value in values}
+            distinct = effectively_distinct(
+                value for _node, value in values)
             if len(distinct) > 1:
                 violations.append(
                     Violation(

@@ -8,6 +8,12 @@ table.  The format is stable and self-describing: every line carries a
 
 Round-tripping is supported for transaction records so sweeps can be
 post-processed without re-running simulations.
+
+Streaming runs, which never materialize a full history, can spill the
+same ``txn`` / ``read`` lines *as transactions retire* through
+:class:`TraceStreamWriter` — a retirement sink for
+:class:`~repro.txn.history.StreamingHistory`.  The on-disk format is the
+shared one, so :func:`load_txn_records` reads both kinds of trace.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from __future__ import annotations
 import json
 import typing
 
-from repro.txn.history import History, TxnRecord
+from repro.txn.history import History, ReadEvent, TxnRecord
 
 
 def _txn_line(record: TxnRecord) -> dict:
@@ -66,17 +72,7 @@ def export_history(history: History, path, include_ops: bool = True) -> int:
             lines += 1
         if include_ops:
             for event in history.read_events:
-                handle.write(json.dumps({
-                    "type": "read",
-                    "time": event.time,
-                    "txn": event.txn,
-                    "subtxn": event.subtxn,
-                    "node": event.node,
-                    "key": str(event.key),
-                    "version_requested": event.version_requested,
-                    "version_used": event.version_used,
-                    "value": _jsonable(event.value),
-                }) + "\n")
+                handle.write(json.dumps(_read_line(event)) + "\n")
                 lines += 1
             for event in history.write_events:
                 handle.write(json.dumps({
@@ -93,6 +89,67 @@ def export_history(history: History, path, include_ops: bool = True) -> int:
                 }) + "\n")
                 lines += 1
     return lines
+
+
+def _read_line(event: ReadEvent) -> dict:
+    return {
+        "type": "read",
+        "time": event.time,
+        "txn": event.txn,
+        "subtxn": event.subtxn,
+        "node": event.node,
+        "key": str(event.key),
+        "version_requested": event.version_requested,
+        "version_used": event.version_used,
+        "value": _jsonable(event.value),
+    }
+
+
+class TraceStreamWriter:
+    """Spill-to-disk JSONL sink for a :class:`StreamingHistory`.
+
+    Writes each transaction's ``txn`` line (and, when the history records
+    detail, its ``read`` lines) at retirement, so disk — not memory —
+    holds the full trace of an arbitrarily long run.  ``close()`` appends
+    the advancement lines and returns the total line count.
+
+    Usage::
+
+        writer = TraceStreamWriter(path)
+        history.add_retire_sink(writer.on_retire)
+        ...  # run the experiment
+        writer.close(history)
+    """
+
+    def __init__(self, path):
+        self._handle = open(path, "w")
+        self.lines = 0
+
+    def on_retire(self, record: TxnRecord,
+                  events: typing.Sequence[ReadEvent]) -> None:
+        self._handle.write(json.dumps(_txn_line(record)) + "\n")
+        self.lines += 1
+        for event in events:
+            self._handle.write(json.dumps(_read_line(event)) + "\n")
+            self.lines += 1
+
+    def close(self, history: typing.Optional[History] = None) -> int:
+        """Flush, optionally appending ``history``'s advancement lines."""
+        if history is not None:
+            for advancement in history.advancements:
+                self._handle.write(json.dumps({
+                    "type": "advancement",
+                    "new_update_version": advancement.new_update_version,
+                    "started": advancement.started,
+                    "phase1_done": advancement.phase1_done,
+                    "phase2_done": advancement.phase2_done,
+                    "phase3_done": advancement.phase3_done,
+                    "gc_done": advancement.gc_done,
+                    "counter_polls": advancement.counter_polls,
+                }) + "\n")
+                self.lines += 1
+        self._handle.close()
+        return self.lines
 
 
 def _jsonable(value):

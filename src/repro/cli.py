@@ -29,7 +29,7 @@ import argparse
 import sys
 import typing
 
-from repro.analysis import Table, audit
+from repro.analysis import Table
 from repro.errors import ReproError
 from repro.exp import (
     DEFAULT_CACHE_DIR,
@@ -41,6 +41,7 @@ from repro.exp import (
     PARAMETERS,
     PARAMETERS_BY_FLAG,
     ResultCache,
+    audit_result,
     expand_grid,
     flatten_specs,
     parse_parameter_value,
@@ -123,17 +124,25 @@ def _metric_cells(aggregate: CellAggregate) -> list:
 
 def cmd_run(args) -> int:
     spec = ExperimentSpec.from_args(args)
-    result = run_recording_experiment(spec.protocol, **spec.run_kwargs())
-    report = audit(result.history, result.workload,
-                   check_snapshots=(spec.protocol == "3v"))
+    result = run_recording_experiment(
+        spec.protocol, trace_path=args.trace, **spec.run_kwargs()
+    )
+    report = audit_result(
+        result,
+        check_snapshots=(spec.protocol == "3v"
+                         and spec.amount_mode == "bitmask"),
+    )
     summary = summarize(spec, result, report)
+    mode = " [streaming]" if result.history.streaming else ""
     table = Table(f"{spec.protocol}: {spec.duration:g}s on "
-                  f"{spec.nodes} nodes",
+                  f"{spec.nodes} nodes{mode}",
                   ["system"] + _METRIC_COLUMNS)
     table.add(spec.protocol, *_metric_cells(CellAggregate.of([summary])))
     table.print()
     print(f"read staleness: mean={summary.staleness_mean:.2f} "
           f"max={summary.staleness_max:.2f}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
     if not report.clean:
         print(f"AUDIT FAILED: {len(report.violations)} violations, e.g. "
               f"{report.violations[0]}")
@@ -342,6 +351,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("protocol", choices=PROTOCOLS)
     _experiment_arguments(run_parser)
+    run_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the per-transaction trace to PATH as JSON lines "
+             "(with --stream 1 it spills incrementally at retirement)",
+    )
+    run_parser.add_argument(
+        "--amount-mode", choices=("bitmask", "money"), default="bitmask",
+        help="update payloads: 'bitmask' enables the exact snapshot "
+             "oracle but grows hot-key values one bit per update, so "
+             "million-transaction volume runs should use 'money' "
+             "(default bitmask)",
+    )
     run_parser.set_defaults(handler=cmd_run)
 
     compare_parser = commands.add_parser(

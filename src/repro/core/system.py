@@ -75,13 +75,14 @@ class ThreeVSystem(System):
         batch_delivery: bool = False,
         policy: typing.Optional[AdvancementPolicy] = None,
         faults=None,
+        history=None,
     ):
         super().__init__(
             node_ids, seed=seed, latency=latency, node_config=node_config,
             detail=detail, fifo_links=fifo_links,
             batch_delivery=batch_delivery,
             plugin=ThreeVPlugin(allow_noncommuting=allow_noncommuting),
-            faults=faults,
+            faults=faults, history=history,
         )
         self.coordinator = AdvancementCoordinator(
             self.sim, self.network, list(node_ids), self.history,
@@ -136,7 +137,8 @@ class ThreeVSystem(System):
 
 def _build_3v(node_ids, *, seed, latency, node_config, detail,
               advancement_period, safety_delay, poll_interval,
-              allow_noncommuting, faults=None, batch_delivery=False):
+              allow_noncommuting, faults=None, batch_delivery=False,
+              history=None):
     from repro.core.policy import PeriodicPolicy
 
     return ThreeVSystem(
@@ -144,7 +146,7 @@ def _build_3v(node_ids, *, seed, latency, node_config, detail,
         poll_interval=poll_interval, detail=detail,
         allow_noncommuting=allow_noncommuting,
         policy=PeriodicPolicy(advancement_period), faults=faults,
-        batch_delivery=batch_delivery,
+        batch_delivery=batch_delivery, history=history,
     )
 
 

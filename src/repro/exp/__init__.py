@@ -34,7 +34,12 @@ from repro.exp.spec import (
     known_protocols,
     parse_parameter_value,
 )
-from repro.exp.summary import ExperimentSummary, run_spec, summarize
+from repro.exp.summary import (
+    ExperimentSummary,
+    audit_result,
+    run_spec,
+    summarize,
+)
 
 __all__ = [
     "BACKENDS",
@@ -61,6 +66,7 @@ __all__ = [
     "parse_parameter_value",
     "run_chaos",
     "run_chaos_spec",
+    "audit_result",
     "run_spec",
     "summarize",
 ]

@@ -76,6 +76,14 @@ PARAMETERS: typing.Tuple[Parameter, ...] = (
     Parameter("latency-jitter", "latency_jitter", float, 1.0,
               "width of the uniform latency window around mean 1.0 "
               "(1.0 = the historic Uniform(0.5, 1.5); 0 = constant)"),
+    Parameter("stream", "stream", int, 0,
+              "bounded-memory mode: lazy arrivals + streaming history + "
+              "rolling audit (0=materialized, 1=streaming)"),
+    Parameter("zipf", "zipf", float, 0.0,
+              "hot-key skew exponent for entity choice (0 = uniform)"),
+    Parameter("observations", "with_observations", int, 1,
+              "insert per-node observation log records (0=off, 1=on; "
+              "volume runs turn this off to keep storage O(entities))"),
     # Fault-injection axes (repro.faults): all-zero means no fault
     # machinery is attached and the run is bit-identical to the seed path.
     Parameter("drop-rate", "drop_rate", float, 0.0,
@@ -154,6 +162,9 @@ class ExperimentSpec:
     poll_interval: float = 0.5
     batch_delivery: int = 0
     latency_jitter: float = 1.0
+    stream: int = 0
+    zipf: float = 0.0
+    with_observations: int = 1
     amount_mode: str = "bitmask"
     abort_fraction: float = 0.0
     detail: bool = True
@@ -195,6 +206,11 @@ class ExperimentSpec:
             p.field: getattr(args, p.dest) for p in PARAMETERS
             if hasattr(args, p.dest)
         }
+        # amount_mode is a string choice, not a sweepable numeric
+        # parameter, so it lives outside the PARAMETERS registry; only
+        # the ``run`` command exposes it.
+        if hasattr(args, "amount_mode"):
+            fields["amount_mode"] = args.amount_mode
         if protocol is None:
             protocol = args.protocol
         return cls(protocol=protocol, **fields)

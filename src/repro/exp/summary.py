@@ -92,6 +92,10 @@ class ExperimentSummary:
     # determinism digest: it is the one machine-dependent field, kept so
     # scaling benchmarks can compare configurations through the fleet)
     wall_seconds: float = 0.0
+    # peak python heap during the run per tracemalloc, 0 unless the caller
+    # asked ``run_spec`` to measure it (machine- and version-dependent, so
+    # excluded from the determinism digest like wall_seconds)
+    peak_tracemalloc_bytes: int = 0
 
     def determinism_digest(self) -> str:
         """Hex digest of the run's discrete counts.
@@ -140,7 +144,7 @@ def summarize(spec: ExperimentSpec, result, report) -> ExperimentSummary:
         committed_updates=history.count(TxnKind.UPDATE),
         committed_reads=history.count(TxnKind.READ),
         committed_noncommuting=history.count(TxnKind.NONCOMMUTING),
-        aborted=len(history.aborted_txns()),
+        aborted=history.aborted_count(),
         compensated=report.compensated_txns,
         update_throughput=throughput(history, result.duration, kind="update"),
         update_mean=updates.mean,
@@ -163,7 +167,7 @@ def summarize(spec: ExperimentSpec, result, report) -> ExperimentSummary:
         messages_user=stats.user_messages,
         messages_control=stats.control_messages,
         sim_events=result.system.sim.scheduled_count,
-        txn_count=len(history.txns),
+        txn_count=history.total_txns,
         retransmits=stats.retransmits,
         dup_suppressed=stats.dup_suppressed,
         messages_dropped=stats.dropped,
@@ -175,24 +179,63 @@ def summarize(spec: ExperimentSpec, result, report) -> ExperimentSummary:
     )
 
 
-def run_spec(spec: ExperimentSpec) -> ExperimentSummary:
+def audit_result(result, check_snapshots: bool = False):
+    """Score a finished :class:`ExperimentResult`, whichever mode ran it.
+
+    Streaming runs are scored by their rolling auditor (already folded at
+    retirement; ``report()`` is its final exact drain).  Materialized
+    runs get the classic post-hoc :func:`repro.analysis.audit`.
+    """
+    if result.auditor is not None:
+        return result.auditor.report()
+    if result.history.streaming:
+        # Streaming without detail records no read events: zero checks,
+        # exactly like a detail-less materialized audit.
+        from repro.analysis import AnomalyReport
+
+        return AnomalyReport(
+            reads_checked=0, fractured_reads=0, snapshot_mismatches=0,
+            aborted_txns=result.history.aborted_count(),
+            compensated_txns=result.history.compensated_count(),
+            violations=[],
+        )
+    return audit(result.history, result.workload,
+                 check_snapshots=check_snapshots)
+
+
+def run_spec(spec: ExperimentSpec,
+             measure_memory: bool = False) -> ExperimentSummary:
     """Run one experiment end-to-end and summarize it.
 
     This is the fleet's worker entry point: heavyweight ``System`` /
     ``History`` objects live and die inside the calling process.
+
+    ``measure_memory=True`` wraps the simulation in ``tracemalloc`` and
+    fills ``peak_tracemalloc_bytes`` — the volume benchmark's memory
+    gate.  Tracing roughly doubles wall-clock, so throughput cells leave
+    it off.
     """
     import time
 
     from repro.workloads import run_recording_experiment
 
+    if measure_memory:
+        import tracemalloc
+
+        tracemalloc.start()
     t0 = time.perf_counter()
     result = run_recording_experiment(spec.protocol, **spec.run_kwargs())
     wall = time.perf_counter() - t0
+    peak = 0
+    if measure_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
     check_snapshots = (
-        spec.protocol == "3v" and spec.amount_mode == "bitmask" and spec.detail
+        spec.protocol == "3v" and spec.amount_mode == "bitmask"
+        and spec.detail
     )
-    report = audit(result.history, result.workload,
-                   check_snapshots=check_snapshots)
+    report = audit_result(result, check_snapshots=check_snapshots)
     return dataclasses.replace(
-        summarize(spec, result, report), wall_seconds=wall
+        summarize(spec, result, report), wall_seconds=wall,
+        peak_tracemalloc_bytes=peak,
     )

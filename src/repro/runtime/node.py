@@ -53,10 +53,20 @@ class ProtocolNode:
 
         #: In-flight completion trackers, keyed by instance key.
         self._trackers: typing.Dict[tuple, CompletionTracker] = {}
-        #: Subtransactions whose ops ran here (needed by compensation).
-        self._executed: typing.Set[tuple] = set()
-        #: Compensation that arrived before its target subtransaction.
-        self._tombstones: typing.Set[tuple] = set()
+        #: Subtransactions whose ops ran here, keyed by transaction name
+        #: (needed by compensation).  Entries are dropped when the whole
+        #: tree completes globally — no message for a completed tree can
+        #: still be in flight (completion notices flow only after every
+        #: child, original or compensating, has been delivered and
+        #: executed) — so this stays O(in-flight txns), not O(run length).
+        self._executed: typing.Dict[str, typing.Set[str]] = {}
+        #: Compensation that arrived before its target subtransaction,
+        #: same keying and lifetime as ``_executed``.
+        self._tombstones: typing.Dict[str, typing.Set[str]] = {}
+        #: Monotone count of tombstones ever laid here (the entries above
+        #: are reclaimed at global completion, so tests and diagnostics
+        #: that want evidence of an overtake race read this instead).
+        self.tombstones_created = 0
 
         # The service-time stream is drawn from on every subtransaction;
         # binding it once avoids the registry lookup per draw (stream seeds
@@ -208,21 +218,22 @@ class ProtocolNode:
             ``True`` if the instance was suppressed (tombstoned original, or
             compensation for a subtransaction that never ran here).
         """
-        original_key = (instance.txn.name, instance.sid, False)
+        name = instance.txn.name
         if instance.compensating:
-            if original_key not in self._executed:
+            if instance.sid not in self._executed.get(name, ()):
                 # Compensation overtook the original: leave a tombstone so
                 # the original becomes a no-op when it arrives.
-                self._tombstones.add(original_key)
+                self._tombstones.setdefault(name, set()).add(instance.sid)
+                self.tombstones_created += 1
                 return True
             self.plugin.apply_inverses(self, instance)
             return False
-        if original_key in self._tombstones:
+        if instance.sid in self._tombstones.get(name, ()):
             # "A compensating subtransaction causes abort of the
             # corresponding subtransaction if it has not finished."
             return True
         self.plugin.execute_ops(self, instance, kind)
-        self._executed.add(instance.instance_key)
+        self._executed.setdefault(name, set()).add(instance.sid)
         return False
 
     # ------------------------------------------------------------------
@@ -269,6 +280,7 @@ class ProtocolNode:
             # Root of the tree: the whole transaction is done.
             self.history.globally_completed(instance.txn.name, self.sim.now)
             self.plugin.on_root_complete(self, instance)
+            self._forget_txn(instance)
             return
         notice = CompletionNotice(
             txn_name=instance.txn.name,
@@ -282,6 +294,28 @@ class ProtocolNode:
                 self.node_id, instance.source_node,
                 MessageKind.COMPLETION_NOTICE, notice,
             )
+
+    def _forget_txn(self, instance: SubtxnInstance) -> None:
+        """Drop a globally-completed tree's compensation bookkeeping.
+
+        Called on the root node once the whole transaction is done.  At
+        that point no message for the tree is in flight anywhere (every
+        child — original, tombstoned, or compensating — was delivered,
+        executed, and acknowledged before the root's tracker drained), so
+        the per-node ``_executed`` / ``_tombstones`` entries can never be
+        consulted again.  Forgetting them keeps node bookkeeping bounded
+        by the number of *in-flight* transactions rather than growing
+        with everything the run has ever executed — the invariant the
+        million-transaction volume axis depends on.
+        """
+        name = instance.txn.name
+        nodes = self.system.nodes
+        index = instance.index
+        for node_id in {index.node_of(sid) for sid in index.by_id}:
+            node = nodes.get(node_id)
+            if node is not None:
+                node._executed.pop(name, None)
+                node._tombstones.pop(name, None)
 
     def _on_completion_notice(self, notice: CompletionNotice) -> None:
         tracker = self._trackers.get(notice.parent_key)

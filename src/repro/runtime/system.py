@@ -47,6 +47,11 @@ class System:
             layer when the plan is lossy), enables write-ahead journaling
             on every node so :meth:`crash`/:meth:`recover` work, and
             schedules the plan's crash/recover events.
+        history: Pre-built recording surface (e.g. a
+            :class:`~repro.txn.history.StreamingHistory` for
+            bounded-memory runs).  ``None`` builds the materialized
+            default; when supplied, ``detail`` is the history's concern
+            and the argument only shapes per-node event capture.
     """
 
     #: Plugin built when the ``plugin`` argument is omitted.
@@ -63,6 +68,7 @@ class System:
         batch_delivery: bool = False,
         plugin: typing.Optional[ProtocolPlugin] = None,
         faults=None,
+        history: typing.Optional[History] = None,
     ):
         if not node_ids:
             raise ProtocolError("a system needs at least one node")
@@ -83,7 +89,7 @@ class System:
                 self.sim, rngs=self.rngs, latency=latency,
                 fifo_links=fifo_links, batch_delivery=batch_delivery,
             )
-        self.history = History(detail=detail)
+        self.history = history if history is not None else History(detail=detail)
         self.config = node_config if node_config is not None else NodeConfig()
         self.plugin = plugin if plugin is not None else self.plugin_class()
         self.plugin.bind(self)

@@ -4,10 +4,20 @@ from repro.txn.history import (
     AdvancementRecord,
     History,
     ReadEvent,
+    StreamingHistory,
     TxnKind,
     TxnRecord,
     WaitReason,
     WriteEvent,
+    is_committed,
+)
+from repro.txn.streamstats import (
+    ExactSum,
+    LatencySummary,
+    P2Quantile,
+    ReservoirSample,
+    StreamingStats,
+    percentile,
 )
 from repro.txn.runtime import (
     CompletionNotice,
@@ -21,9 +31,15 @@ __all__ = [
     "AdvancementRecord",
     "CompletionNotice",
     "CompletionTracker",
+    "ExactSum",
     "History",
+    "LatencySummary",
+    "P2Quantile",
     "ReadEvent",
     "ReadOp",
+    "ReservoirSample",
+    "StreamingHistory",
+    "StreamingStats",
     "SubtxnInstance",
     "SubtxnSpec",
     "TransactionSpec",
@@ -33,5 +49,7 @@ __all__ = [
     "WaitReason",
     "WriteEvent",
     "WriteOp",
+    "is_committed",
+    "percentile",
     "subtxn_id",
 ]

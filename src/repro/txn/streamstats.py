@@ -1,0 +1,305 @@
+"""Online distribution statistics for streaming histories.
+
+A materialized :class:`~repro.txn.history.History` keeps every latency
+value and computes exact percentiles at the end of the run; a streaming
+history cannot.  This module provides the O(1)-memory machinery it folds
+values into instead:
+
+* :class:`ExactSum` — an incremental Shewchuk summation (the same
+  algorithm as :func:`math.fsum`), so streaming means are exactly rounded
+  and therefore *order-independent*: folding values in retirement order
+  yields bit-identical means to summing them in submission order.
+* :class:`P2Quantile` — the Jain & Chlamtac P² online quantile estimator
+  (five markers, parabolic adjustment), used for percentiles once a
+  population outgrows the reservoir.
+* :class:`ReservoirSample` — Algorithm R with a seeded RNG.  While the
+  population fits inside the reservoir it *is* the population, so
+  small-run percentiles are exact — the differential oracle against the
+  materialized path.
+* :class:`StreamingStats` — one population's count / exact mean / max /
+  reservoir / P² markers, summarized as a :class:`LatencySummary`.
+
+:class:`LatencySummary` and :func:`percentile` live here (rather than in
+``repro.analysis.metrics``, which re-exports them) because the streaming
+history is a ``repro.txn`` citizen and the txn layer must not import the
+analysis layer above it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+import typing
+import zlib
+
+
+def percentile(values: typing.Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = int(position)
+    fraction = position - lower
+    if lower + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[lower] * (1 - fraction) + ordered[lower + 1] * fraction
+
+
+@dataclasses.dataclass
+class LatencySummary:
+    """Distribution summary of one latency population."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: typing.Sequence[float]) -> "LatencySummary":
+        if not values:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+        return cls(
+            count=len(values),
+            mean=math.fsum(values) / len(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            max=max(values),
+        )
+
+
+class ExactSum:
+    """Incremental exactly-rounded float summation (Shewchuk partials).
+
+    ``add`` maintains the same non-overlapping partials ``math.fsum``
+    builds internally; ``value`` rounds them once.  The result depends
+    only on the *multiset* of added values, never on their order — the
+    property that lets a streaming history fold latencies in retirement
+    order and still match a materialized history bit for bit.
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self) -> None:
+        self._partials: typing.List[float] = []
+
+    def add(self, x: float) -> None:
+        partials = self._partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    @property
+    def value(self) -> float:
+        return math.fsum(self._partials)
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² online estimator of one quantile.
+
+    Five markers track the minimum, the quantile, the maximum, and the
+    two midpoints; each observation shifts marker positions and adjusts
+    heights with a piecewise-parabolic (P²) formula.  O(1) memory, O(1)
+    per observation, no distributional assumptions.
+    """
+
+    __slots__ = ("q", "_heights", "_positions", "_desired", "_increments",
+                 "_count")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"P2 quantile must be in (0, 1): {q}")
+        self.q = q
+        self._heights: typing.List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q,
+                         5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self._count = 0
+
+    def add(self, x: float) -> None:
+        self._count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(x)
+            heights.sort()
+            return
+        # Find the cell containing x and clamp the extreme markers.
+        if x < heights[0]:
+            heights[0] = x
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= heights[k + 1]:
+                k += 1
+        positions = self._positions
+        for i in range(k + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._increments[i]
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def estimate(self) -> float:
+        """Current quantile estimate (exact while fewer than 5 samples)."""
+        if not self._heights:
+            raise ValueError("P2 estimate of empty population")
+        if self._count < 5:
+            return percentile(self._heights, self.q * 100.0)
+        return self._heights[2]
+
+
+class ReservoirSample:
+    """Algorithm R uniform reservoir over a stream, with a seeded RNG.
+
+    While the stream is no longer than ``capacity`` the reservoir holds
+    it *entirely* (in arrival order), so percentiles computed from it are
+    exact.  Beyond that it is a uniform sample.  Determinism: the RNG is
+    supplied by the caller (a named stream derived from the experiment
+    seed), so reservoir contents are bit-identical across hosts, worker
+    counts, and backends.
+    """
+
+    __slots__ = ("capacity", "_rng", "_seen", "values")
+
+    def __init__(self, capacity: int, rng: random.Random):
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._rng = rng
+        self._seen = 0
+        self.values: typing.List[float] = []
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    @property
+    def exact(self) -> bool:
+        """Whether the reservoir still holds the entire stream."""
+        return self._seen <= self.capacity
+
+    def add(self, x: float) -> None:
+        self._seen += 1
+        if len(self.values) < self.capacity:
+            self.values.append(x)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self.capacity:
+            self.values[slot] = x
+
+
+#: Default reservoir size: small runs (the differential-oracle regime)
+#: stay exact; large runs pay 32 KiB per population.
+DEFAULT_RESERVOIR = 4096
+
+
+class StreamingStats:
+    """Count / exact mean / max / percentiles of one streamed population.
+
+    ``summary()`` returns exact percentiles (from the complete reservoir)
+    while the population fits in ``capacity`` — bit-identical to
+    :meth:`LatencySummary.of` over the materialized values — and P²
+    estimates beyond that.  The mean is exactly rounded (order-independent)
+    at every size; count and max are always exact.
+    """
+
+    __slots__ = ("_sum", "_count", "_max", "_reservoir", "_p2")
+
+    QUANTILES = (0.50, 0.95, 0.99)
+
+    def __init__(self, rng: random.Random,
+                 capacity: int = DEFAULT_RESERVOIR):
+        self._sum = ExactSum()
+        self._count = 0
+        self._max = 0.0
+        self._reservoir = ReservoirSample(capacity, rng)
+        self._p2 = tuple(P2Quantile(q) for q in self.QUANTILES)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def add(self, x: float) -> None:
+        self._count += 1
+        self._sum.add(x)
+        if x > self._max or self._count == 1:
+            self._max = x
+        self._reservoir.add(x)
+        for estimator in self._p2:
+            estimator.add(x)
+
+    def summary(self) -> LatencySummary:
+        if self._count == 0:
+            return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0,
+                                  p99=0.0, max=0.0)
+        if self._reservoir.exact:
+            values = self._reservoir.values
+            p50, p95, p99 = (percentile(values, q * 100.0)
+                             for q in self.QUANTILES)
+        else:
+            p50, p95, p99 = (e.estimate for e in self._p2)
+        return LatencySummary(
+            count=self._count,
+            mean=self._sum.value / self._count,
+            p50=p50, p95=p95, p99=p99,
+            max=self._max,
+        )
+
+
+def derived_rng(seed: int, name: str) -> random.Random:
+    """A named RNG derived exactly like ``RngRegistry.stream``.
+
+    Duplicating the (tiny) derivation here keeps ``repro.txn`` free of an
+    import edge into ``repro.sim`` while producing the same streams for
+    the same ``(seed, name)`` — callers that already hold a registry can
+    pass its streams instead.
+    """
+    derived = (seed * 0x9E3779B1 + zlib.crc32(name.encode())) & 0xFFFFFFFF
+    return random.Random(derived)

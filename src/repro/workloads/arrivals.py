@@ -3,9 +3,20 @@
 Transactions arrive according to a Poisson process (exponential
 inter-arrival times) — the standard open-loop model for data recording
 systems, where calls/sales/observations arrive regardless of how the
-database is doing.  Arrival times are pre-sampled from a named RNG stream,
-so two systems driven with the same seed see identical workloads
+database is doing.  Arrival times come from a named RNG stream, so two
+systems driven with the same seed see identical workloads
 (paired-comparison benchmarking).
+
+Two driving modes share the same sampled process:
+
+* :func:`drive` pre-schedules every arrival (simple, but heap residency
+  and transaction-spec memory are O(arrivals) up front).
+* :func:`drive_streaming` walks the lazy :func:`poisson_arrival_times`
+  generator with a self-rescheduling simulator callback: exactly one
+  pending arrival per transaction class at any instant, so a
+  million-transaction run never materializes its workload.  Each class
+  draws from its own stream, so laziness cannot change the sampled
+  times — only *when* specs are built.
 """
 
 from __future__ import annotations
@@ -15,14 +26,14 @@ import typing
 from repro.sim.distributions import RngRegistry
 
 
-def poisson_arrivals(
+def poisson_arrival_times(
     rngs: RngRegistry,
     stream: str,
     rate: float,
     duration: float,
     start: float = 0.0,
-) -> typing.List[float]:
-    """Sample a Poisson arrival process.
+) -> typing.Iterator[float]:
+    """Lazily sample a Poisson arrival process.
 
     Args:
         rngs: RNG registry.
@@ -31,19 +42,29 @@ def poisson_arrivals(
         duration: Length of the arrival window.
         start: Window start time.
 
-    Returns:
+    Yields:
         Sorted arrival times within ``[start, start + duration)``.
     """
     if rate <= 0:
-        return []
+        return
     rng = rngs.stream(stream)
-    times = []
     t = start
     while True:
         t += rng.expovariate(rate)
         if t >= start + duration:
-            return times
-        times.append(t)
+            return
+        yield t
+
+
+def poisson_arrivals(
+    rngs: RngRegistry,
+    stream: str,
+    rate: float,
+    duration: float,
+    start: float = 0.0,
+) -> typing.List[float]:
+    """Materialized :func:`poisson_arrival_times` (same samples)."""
+    return list(poisson_arrival_times(rngs, stream, rate, duration, start))
 
 
 def uniform_arrivals(
@@ -77,3 +98,45 @@ def drive(system, arrivals: typing.Iterable[float], make_spec) -> int:
         system.submit_at(time, make_spec(index))
         count += 1
     return count
+
+
+class StreamingDriver:
+    """Submits one transaction class from a lazy arrival iterator.
+
+    Holds exactly one pending simulator event: when it fires, the next
+    spec is built *at its own arrival time* and submitted, and the
+    following arrival is scheduled.  Workload memory is O(1) in run
+    length; ``count`` reports how many transactions were submitted.
+    """
+
+    __slots__ = ("_sim", "_system", "_arrivals", "_make_spec", "count")
+
+    def __init__(self, system, arrivals: typing.Iterator[float], make_spec):
+        self._sim = system.sim
+        self._system = system
+        self._arrivals = iter(arrivals)
+        self._make_spec = make_spec
+        self.count = 0
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        time = next(self._arrivals, None)
+        if time is not None:
+            self._sim.schedule_at(time, self._fire)
+
+    def _fire(self) -> None:
+        self._system.submit(self._make_spec(self.count))
+        self.count += 1
+        self._schedule_next()
+
+
+def drive_streaming(system, arrivals: typing.Iterator[float],
+                    make_spec) -> StreamingDriver:
+    """Schedule a transaction class lazily, one arrival at a time.
+
+    The streaming counterpart of :func:`drive`: same
+    ``make_spec(index) -> TransactionSpec`` contract, but specs are built
+    on demand as the simulation reaches each arrival.  Read
+    ``driver.count`` after the run for the number submitted.
+    """
+    return StreamingDriver(system, arrivals, make_spec)

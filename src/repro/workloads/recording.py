@@ -31,6 +31,7 @@ Amount modes:
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import typing
 
@@ -65,6 +66,11 @@ class RecordingConfig:
         audit_entities: Entities read by one audit transaction.
         abort_fraction: Fraction of recording transactions that abort at
             their last subtransaction (exercises compensation).
+        zipf: Hot-key skew exponent.  ``0`` keeps the historic uniform
+            entity choice (bit-identical to older runs); ``s > 0`` draws
+            entity ``e`` with probability proportional to ``1/(e+1)**s``
+            (entity 0 hottest) — the realistic shape for volume runs,
+            where a few accounts absorb most traffic.
     """
 
     nodes: typing.Sequence[str]
@@ -76,6 +82,7 @@ class RecordingConfig:
     with_observations: bool = True
     audit_entities: int = 10
     abort_fraction: float = 0.0
+    zipf: float = 0.0
 
     def __post_init__(self):
         if self.span < 1 or self.span > len(self.nodes):
@@ -84,6 +91,8 @@ class RecordingConfig:
             )
         if self.amount_mode not in ("money", "bitmask"):
             raise ReproError(f"unknown amount mode: {self.amount_mode!r}")
+        if self.zipf < 0:
+            raise ReproError(f"zipf exponent must be >= 0: {self.zipf}")
 
 
 class RecordingWorkload:
@@ -101,8 +110,22 @@ class RecordingWorkload:
             self.entity_nodes[entity] = [
                 nodes[(start + i) % len(nodes)] for i in range(config.span)
             ]
+        #: Cumulative Zipf weights over entities (None when uniform).
+        self._zipf_cumulative: typing.Optional[typing.List[float]] = None
+        if config.zipf > 0:
+            total = 0.0
+            cumulative = []
+            for entity in range(config.entities):
+                total += 1.0 / (entity + 1) ** config.zipf
+                cumulative.append(total)
+            self._zipf_cumulative = cumulative
         #: per-entity counter for bitmask amounts.
         self._entity_txn_counter: typing.Dict[int, int] = {}
+        #: Whether to retain per-update ground truth.  The rolling auditor
+        #: consumes entries as updates retire; with no auditor attached a
+        #: streaming run sets this False so the dict cannot grow with run
+        #: length.
+        self.track_amounts = True
         #: (name) -> (entity, amount) for ground-truth bookkeeping.
         self.update_amounts: typing.Dict[str, typing.Tuple[int, int]] = {}
         #: correction name -> entity it overwrote.  Corrected entities no
@@ -125,7 +148,11 @@ class RecordingWorkload:
     # ------------------------------------------------------------------
 
     def _pick_entity(self) -> int:
-        return self._rng.randrange(self.config.entities)
+        if self._zipf_cumulative is None:
+            return self._rng.randrange(self.config.entities)
+        target = self._rng.random() * self._zipf_cumulative[-1]
+        index = bisect.bisect_right(self._zipf_cumulative, target)
+        return min(index, self.config.entities - 1)
 
     def _amount(self, entity: int):
         if self.config.amount_mode == "bitmask":
@@ -141,7 +168,8 @@ class RecordingWorkload:
         nodes = self.entity_nodes[entity]
         amount = self._amount(entity)
         name = f"rec-{index}"
-        self.update_amounts[name] = (entity, amount)
+        if self.track_amounts:
+            self.update_amounts[name] = (entity, amount)
         abort = (
             self.config.abort_fraction > 0
             and self._rng.random() < self.config.abort_fraction

@@ -5,6 +5,14 @@ installs a recording workload, drives Poisson arrivals for a simulated
 duration, drains, and returns everything the analysis package needs.  The
 same seed produces the *identical* arrival sequence and transaction mix on
 every protocol, so cross-protocol comparisons are paired.
+
+With ``stream=1`` the run switches to bounded-memory mode: arrivals are
+walked lazily (one pending event per transaction class), the history is a
+:class:`~repro.txn.history.StreamingHistory` that folds each transaction
+into O(1) aggregates at retirement, a rolling serializability spot-check
+replaces the post-hoc audit, and an optional ``trace_path`` spills the
+full per-transaction trace to disk instead of RAM.  Peak memory is then
+independent of how many transactions the run processes.
 """
 
 from __future__ import annotations
@@ -16,7 +24,13 @@ from repro.net.latency import LatencyModel, UniformLatency
 from repro.runtime.config import NodeConfig
 from repro.runtime.registry import PROTOCOLS
 from repro.sim.distributions import Constant, RngRegistry, Uniform
-from repro.workloads.arrivals import drive, poisson_arrivals
+from repro.txn.history import StreamingHistory
+from repro.workloads.arrivals import (
+    drive,
+    drive_streaming,
+    poisson_arrival_times,
+    poisson_arrivals,
+)
 from repro.workloads.recording import RecordingConfig, RecordingWorkload
 
 __all__ = [
@@ -60,6 +74,9 @@ class ExperimentResult:
     workload: RecordingWorkload
     duration: float
     submitted: int
+    #: Rolling serializability auditor (streaming runs with detail only);
+    #: ``auditor.report()`` replaces the post-hoc ``analysis.audit``.
+    auditor: typing.Any = None
 
     @property
     def history(self):
@@ -85,11 +102,14 @@ def build_system(
     faults=None,
     batch_delivery: bool = False,
     latency_jitter: float = 1.0,
+    history=None,
 ):
     """Instantiate any registered protocol behind a uniform interface.
 
     ``latency_jitter`` shapes the default latency model and is ignored
-    when an explicit ``latency`` is supplied.
+    when an explicit ``latency`` is supplied.  ``history`` injects a
+    pre-built recording surface (a :class:`StreamingHistory` for
+    bounded-memory runs); ``None`` keeps the materialized default.
     """
     if latency is None:
         latency = default_latency(latency_jitter)
@@ -102,7 +122,7 @@ def build_system(
         detail=detail, advancement_period=advancement_period,
         safety_delay=safety_delay, poll_interval=poll_interval,
         allow_noncommuting=allow_noncommuting, faults=faults,
-        batch_delivery=batch_delivery,
+        batch_delivery=batch_delivery, history=history,
     )
 
 
@@ -128,6 +148,11 @@ def run_recording_experiment(
     crash_count: int = 0,
     fault_seed: int = 0,
     drain_limit: float = 100000.0,
+    stream: int = 0,
+    zipf: float = 0.0,
+    with_observations: int = 1,
+    trace_path=None,
+    stream_aggregates: bool = True,
     **system_kwargs,
 ) -> ExperimentResult:
     """Run one full recording experiment on the chosen protocol.
@@ -138,6 +163,13 @@ def run_recording_experiment(
     ``fault_seed``) build a :class:`repro.faults.FaultPlan` storm; with
     all three at zero no fault machinery is attached at all, keeping the
     seed path bit-identical.
+
+    ``stream=1`` selects the bounded-memory mode (lazy arrivals +
+    streaming history + rolling audit; see the module docstring).
+    ``stream_aggregates=False`` is the differential-oracle hook: it keeps
+    the lazy arrival scheduling of ``stream=1`` but materializes the full
+    history, so tests can compare streamed aggregates bit-for-bit against
+    exact end-of-run computation over the *same* trace.
     """
     node_ids = [f"n{index:02d}" for index in range(nodes)]
     span = min(span, nodes)
@@ -150,51 +182,90 @@ def run_recording_experiment(
             crash_count=crash_count, fault_seed=fault_seed,
             duration=duration,
         )
+    stream_mode = bool(stream)
+    history = None
+    if stream_mode and stream_aggregates:
+        # The reservoir stream draws from seed + 3: seeds +1/+2 already
+        # name the workload and arrival registries.
+        history = StreamingHistory(detail=bool(detail), stats_seed=seed + 3)
     system = build_system(
         protocol, node_ids, seed=seed, latency=latency,
         advancement_period=advancement_period, safety_delay=safety_delay,
         allow_noncommuting=correction_rate > 0, detail=detail,
-        faults=faults, **system_kwargs,
+        faults=faults, history=history, **system_kwargs,
     )
     workload_config = RecordingConfig(
         nodes=node_ids, entities=entities, span=span,
         amount_mode=amount_mode, abort_fraction=abort_fraction,
+        with_observations=bool(with_observations), zipf=zipf,
     )
     # The workload draws from its own registry so every protocol sees the
     # same transaction mix regardless of how the system consumes its RNG.
     workload = RecordingWorkload(workload_config, RngRegistry(seed + 1))
     workload.install(system)
 
+    auditor = None
+    tracer = None
+    if stream_mode and stream_aggregates:
+        if detail:
+            # Imported lazily: repro.analysis never imports repro.workloads,
+            # so the late edge cannot cycle.
+            from repro.analysis.rolling import RollingAuditor
+
+            check_snapshots = protocol == "3v" and amount_mode == "bitmask"
+            auditor = RollingAuditor(
+                history, workload, check_snapshots=check_snapshots
+            )
+            history.add_retire_sink(auditor.on_retire)
+            # Ground-truth amounts are consumed as updates retire; without
+            # the snapshot oracle they would only accumulate.
+            workload.track_amounts = check_snapshots
+        else:
+            workload.track_amounts = False
+        if trace_path is not None:
+            from repro.analysis.tracefile import TraceStreamWriter
+
+            tracer = TraceStreamWriter(trace_path)
+            history.add_retire_sink(tracer.on_retire)
+
     arrival_rngs = RngRegistry(seed + 2)
-    submitted = 0
-    submitted += drive(
-        system,
-        poisson_arrivals(arrival_rngs, "arrivals.update", update_rate, duration),
-        workload.make_recording,
-    )
-    submitted += drive(
-        system,
-        poisson_arrivals(arrival_rngs, "arrivals.inquiry", inquiry_rate, duration),
-        workload.make_inquiry,
-    )
-    submitted += drive(
-        system,
-        poisson_arrivals(arrival_rngs, "arrivals.audit", audit_rate, duration),
-        workload.make_audit,
-    )
+    classes = [
+        ("arrivals.update", update_rate, workload.make_recording),
+        ("arrivals.inquiry", inquiry_rate, workload.make_inquiry),
+        ("arrivals.audit", audit_rate, workload.make_audit),
+    ]
     if correction_rate > 0:
-        submitted += drive(
-            system,
-            poisson_arrivals(
-                arrival_rngs, "arrivals.correction", correction_rate, duration
-            ),
-            workload.make_correction,
+        classes.append(
+            ("arrivals.correction", correction_rate, workload.make_correction)
         )
+    submitted = 0
+    drivers = []
+    for stream_name, rate, make_spec in classes:
+        if stream_mode:
+            drivers.append(drive_streaming(
+                system,
+                poisson_arrival_times(arrival_rngs, stream_name, rate,
+                                      duration),
+                make_spec,
+            ))
+        else:
+            submitted += drive(
+                system,
+                poisson_arrivals(arrival_rngs, stream_name, rate, duration),
+                make_spec,
+            )
 
     system.run(until=duration)
     system.stop_policy()
     system.run_until_quiet(limit=drain_limit)
+    submitted += sum(driver.count for driver in drivers)
+    if tracer is not None:
+        tracer.close(history)
+    if trace_path is not None and tracer is None:
+        from repro.analysis.tracefile import export_history
+
+        export_history(system.history, trace_path)
     return ExperimentResult(
         protocol=protocol, system=system, workload=workload,
-        duration=duration, submitted=submitted,
+        duration=duration, submitted=submitted, auditor=auditor,
     )

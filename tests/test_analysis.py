@@ -170,6 +170,36 @@ class TestOracles:
         history.read(ReadEvent(0.6, "u", "u", "b", "bal:1", 1, 1, 1))
         assert atomic_visibility_violations(history) == []
 
+    def test_float_drift_is_not_fractured(self):
+        """Money amounts summed in different per-node orders drift by
+        ULPs; that is float non-associativity, not a fractured read."""
+        history = History()
+        history.begin_txn("q", TxnKind.READ, 0, 0.0, "a")
+        history.globally_completed("q", 1.0)
+        history.read(
+            ReadEvent(0.5, "q", "q", "a", "bal:1", 0, 0, 21614.28))
+        history.read(
+            ReadEvent(0.6, "q", "q", "b", "bal:1", 0, 0,
+                      21614.280000000002))
+        assert atomic_visibility_violations(history) == []
+
+    def test_real_money_fracture_still_detected(self):
+        """A genuine fracture differs by whole update amounts — far past
+        the drift tolerance."""
+        history = History()
+        history.begin_txn("q", TxnKind.READ, 0, 0.0, "a")
+        history.globally_completed("q", 1.0)
+        history.read(ReadEvent(0.5, "q", "q", "a", "bal:1", 0, 0, 100.00))
+        history.read(ReadEvent(0.6, "q", "q", "b", "bal:1", 0, 0, 120.50))
+        assert len(atomic_visibility_violations(history)) == 1
+
+    def test_bitmask_ints_compared_exactly(self):
+        from repro.analysis.serializability import effectively_distinct
+
+        masks = [1 << 200, (1 << 200) | 1]
+        assert len(effectively_distinct(masks)) == 2
+        assert len(effectively_distinct([None, 0])) == 2
+
     def test_audit_requires_workload_for_snapshots(self):
         with pytest.raises(ValueError):
             audit(History(), check_snapshots=True)

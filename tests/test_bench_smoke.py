@@ -54,6 +54,8 @@ class TestSmokeSuite:
             "quiescent_scan_checks_per_sec",
             "scaling_advancement_events_per_sec_16",
             "scaling_batch_speedup_16",
+            "volume_stream_txns_per_sec",
+            "volume_memory_flatness",
         }
         assert set(suite["metrics"]) == expected
 
@@ -72,6 +74,17 @@ class TestSmokeSuite:
                 assert key in suite["determinism"], key
             assert (suite["determinism"][f"scaling_events_batched_{nodes:02d}"]
                     < suite["determinism"][f"scaling_events_{nodes:02d}"])
+
+    def test_volume_cells_present_in_digest(self, suite):
+        """The streaming volume cells ride along with bit-stable counts
+        and a memory-flatness ratio inside the hard 1.5x bar."""
+        for cell in ("small", "large"):
+            for key in (f"volume_events_{cell}", f"volume_txns_{cell}"):
+                assert key in suite["determinism"], key
+        assert (suite["determinism"]["volume_txns_large"]
+                > suite["determinism"]["volume_txns_small"])
+        assert "volume_differential_txns" in suite["determinism"]
+        assert suite["metrics"]["volume_memory_flatness"] > 1 / 1.5
 
     def test_e2e_workload_is_deterministic(self, suite):
         digest = bench_hotpath.assert_deterministic("smoke")

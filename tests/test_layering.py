@@ -82,6 +82,39 @@ def test_detects_faults_importing_the_runtime(tmp_path):
     assert "repro.faults imports" in result.stdout
 
 
+def test_detects_txn_importing_analysis(tmp_path):
+    # The streaming history computes aggregates the analysis layer
+    # re-exports; an upward edge from txn would close that into a cycle.
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/txn/__init__.py": "",
+        "repro/txn/history.py": (
+            "from repro.analysis.metrics import latency_summary\n"
+        ),
+        "repro/analysis/__init__.py": "",
+        "repro/analysis/metrics.py": "latency_summary = object\n",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 1
+    assert "repro.txn imports" in result.stdout
+
+
+def test_txn_may_import_errors_and_storage(tmp_path):
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/txn/__init__.py": "",
+        "repro/txn/spec.py": (
+            "from repro.errors import ReproError\n"
+            "from repro.storage import mvstore\n"
+        ),
+        "repro/errors.py": "ReproError = Exception\n",
+        "repro/storage/__init__.py": "",
+        "repro/storage/mvstore.py": "",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
 def test_faults_may_import_net_and_sim(tmp_path):
     seed_tree(str(tmp_path), {
         "repro/__init__.py": "",

@@ -167,7 +167,7 @@ class TestCompensationRacesItself:
             record = system.history.txn("t")
             assert record.aborted and record.compensated
             assert record.global_complete_time is not None
-            overtook += len(system.node("c")._tombstones)
+            overtook += system.node("c").tombstones_created
             # No residue on any node, at any version.
             for node, key in (("p", "kp"), ("b", "kb"), ("c", "kc")):
                 assert system.node(node).store.read_max_leq(key, 10 ** 9) == 100

@@ -27,6 +27,13 @@ guarantees, and this script keeps them true by construction:
    both import *down* into ``repro.faults``, keeping the injector
    reusable under every protocol.
 
+4. **Transaction history is substrate.**  ``repro.txn`` (specs, the
+   recording ``History``/``StreamingHistory``, and their online
+   aggregates) may import only ``repro.errors``, ``repro.storage``, and
+   itself.  In particular it must never import ``repro.analysis``: the
+   streaming history *computes* latency aggregates that the analysis
+   layer re-exports, and an upward edge would make that a cycle.
+
 The check is AST-based (``import x`` / ``from x import y``, including
 relative imports), so string mentions in docstrings or comments are
 ignored.  Exit status 0 = clean, 1 = violations (listed one per line).
@@ -61,6 +68,13 @@ FAULTS_ALLOWED = (
     "repro.net",
     "repro.sim",
     "repro.errors",
+)
+
+#: The only ``repro.*`` prefixes ``repro.txn`` may import.
+TXN_ALLOWED = (
+    "repro.txn",
+    "repro.errors",
+    "repro.storage",
 )
 
 #: Layers the runtime package must never import.
@@ -148,6 +162,15 @@ def check(src_root: str) -> typing.List[str]:
                         f"{display}:{lineno}: repro.faults imports "
                         f"{imported!r} (the injector may only depend on "
                         f"net/sim/errors, never a protocol or the runtime)"
+                    )
+                if (hits(module, ("repro.txn",))
+                        and hits(imported, ("repro",))
+                        and not hits(imported, TXN_ALLOWED)):
+                    violations.append(
+                        f"{display}:{lineno}: repro.txn imports "
+                        f"{imported!r} (history is substrate: it may only "
+                        f"depend on errors/storage, never the analysis "
+                        f"layer that re-exports its aggregates)"
                     )
                 if group is None or module == "repro.protocols":
                     continue
