@@ -350,6 +350,10 @@ def run_suite(mode: str = "full", jobs: int = 1
     metrics.update(volume["metrics"])
     digest.update(volume["determinism"])
 
+    replication = _sibling_suite("bench_replication").run_replication(mode)
+    metrics.update(replication["metrics"])
+    digest.update(replication["determinism"])
+
     return {"mode": mode, "metrics": metrics, "determinism": digest}
 
 

@@ -187,7 +187,9 @@ class RollingAuditor:
             getattr(self.workload, "correction_entities", {}).values()
         )
         for key, events in bal_events.items():
-            entity = int(str(key).split(":", 1)[1])
+            # Replicated keys are slot-qualified ("bal:38#0"); the slot
+            # never changes which entity's committed mask applies.
+            entity = int(str(key).split(":", 1)[1].split("#", 1)[0])
             if entity in corrected:
                 continue
             expected = self._expected_mask(entity, record.version)

@@ -127,7 +127,9 @@ def snapshot_violations(history: History, workload) -> typing.List[Violation]:
         for key, events in by_key.items():
             if not str(key).startswith("bal:"):
                 continue
-            entity = int(str(key).split(":", 1)[1])
+            # Replicated keys are slot-qualified ("bal:38#0"); the slot
+            # never changes which entity's committed mask applies.
+            entity = int(str(key).split(":", 1)[1].split("#", 1)[0])
             if entity in corrected:
                 continue
             expected = workload.committed_mask(

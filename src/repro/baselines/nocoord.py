@@ -38,11 +38,11 @@ class NoCoordSystem(System):
 def _build_nocoord(node_ids, *, seed, latency, node_config, detail,
                    advancement_period, safety_delay, poll_interval,
                    allow_noncommuting, faults=None, batch_delivery=False,
-                   history=None):
+                   history=None, placement=None):
     return NoCoordSystem(
         node_ids, seed=seed, latency=latency, node_config=node_config,
         detail=detail, faults=faults, batch_delivery=batch_delivery,
-        history=history,
+        history=history, placement=placement,
     )
 
 

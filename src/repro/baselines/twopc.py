@@ -104,11 +104,14 @@ class TwoPCSystem(System):
 
     def _resubmit(self, spec: TransactionSpec) -> None:
         index = TxnIndex(spec)
+        if self.placement is not None and spec.is_read_only:
+            self.placement.route_reads(index)
+        root_node = index.node_of(index.root_id)
         instance = SubtxnInstance(
             txn=spec, index=index, sid=index.root_id, version=None,
-            source_node=spec.root.node,
+            source_node=root_node,
         )
-        self.node(spec.root.node).submit(instance)
+        self.node(root_node).submit(instance)
 
 
 def _rename(spec: TransactionSpec, new_name: str) -> TransactionSpec:
@@ -121,11 +124,11 @@ def _rename(spec: TransactionSpec, new_name: str) -> TransactionSpec:
 def _build_2pc(node_ids, *, seed, latency, node_config, detail,
                advancement_period, safety_delay, poll_interval,
                allow_noncommuting, faults=None, batch_delivery=False,
-               history=None):
+               history=None, placement=None):
     return TwoPCSystem(
         node_ids, seed=seed, latency=latency, node_config=node_config,
         detail=detail, faults=faults, batch_delivery=batch_delivery,
-        history=history,
+        history=history, placement=placement,
     )
 
 

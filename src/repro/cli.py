@@ -269,20 +269,32 @@ def cmd_chaos(args) -> int:
               f"choose from {', '.join(PROTOCOLS)}")
         return 2
     protocols = args.protocols or list(PROTOCOLS)
-    table = Table(
+    replicated = args.replication_factor > 1
+    title = (
         f"Chaos: {args.duration:g}s on {args.nodes} nodes, "
         f"drop={args.drop_rate:g} dup={args.dup_rate:g} "
-        f"crashes={args.crash_count}/node (fault seed {args.fault_seed})",
-        ["system", "dropped", "dup'd", "retx", "dedup", "crash/rec",
-         "entities", "agree", "oracle", "repeat", "verdict"],
+        f"crashes={args.crash_count}/node (fault seed {args.fault_seed})"
     )
+    if replicated:
+        title += (f", rf={args.replication_factor} "
+                  f"refresh={args.refresh_delay:g}s")
+    columns = ["system", "dropped", "dup'd", "retx", "dedup", "crash/rec"]
+    if replicated:
+        # "records" replaces "entities": the agreement unit is the
+        # (entity, slot) record compared across its replica set.
+        columns += ["records", "agree", "skipped", "refresh", "ungated"]
+    else:
+        columns += ["entities", "agree"]
+    columns += ["oracle", "repeat", "verdict"]
+    table = Table(title, columns)
     failed = []
     for protocol in protocols:
         spec = chaos_spec(
             protocol, nodes=args.nodes, duration=args.duration,
             drop_rate=args.drop_rate, dup_rate=args.dup_rate,
             crash_count=args.crash_count, fault_seed=args.fault_seed,
-            seed=args.seed,
+            seed=args.seed, replication_factor=args.replication_factor,
+            refresh_delay=args.refresh_delay,
         )
         report = run_chaos_spec(spec, verify_repeat=not args.no_repeat,
                                 drain_limit=args.drain_limit)
@@ -291,7 +303,7 @@ def cmd_chaos(args) -> int:
             repeat = "-"
         else:
             repeat = "yes" if report.repeat_identical else "NO"
-        table.add(
+        cells = [
             protocol,
             s.messages_dropped if s else "-",
             s.messages_duplicated if s else "-",
@@ -300,11 +312,21 @@ def cmd_chaos(args) -> int:
             f"{s.crashes}/{s.recoveries}" if s else "-",
             report.entities_checked,
             report.entities_checked - report.disagreements,
+        ]
+        if replicated:
+            cells += [
+                s.writes_skipped if s else "-",
+                (f"{s.refreshes_completed}+{s.self_refreshes}"
+                 if s else "-"),
+                s.unreadable_reads_served if s else "-",
+            ]
+        cells += [
             "ok" if report.oracle_mismatches == 0 else
             f"{report.oracle_mismatches} BAD",
             repeat,
             "ok" if report.ok else "FAILED",
-        )
+        ]
+        table.add(*cells)
         if not report.ok:
             failed.append(report)
     table.print()
@@ -436,6 +458,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--crash-count", type=int, default=1,
                               help="crash/recover cycles per node "
                                    "(default 1)")
+    chaos_parser.add_argument(
+        "--replication-factor", type=int, default=1,
+        help="replicas per record: read-one / write-all-available with "
+             "recovery-readability (default 1 = unreplicated)")
+    chaos_parser.add_argument(
+        "--refresh-delay", type=float, default=2.0,
+        help="delay between a replica's recovery and its refresh request "
+             "(default 2.0; it serves no reads until refresh completes)")
     chaos_parser.add_argument("--fault-seed", type=int, default=7,
                               help="fault schedule seed (default 7)")
     chaos_parser.add_argument("--seed", type=int, default=0,

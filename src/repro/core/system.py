@@ -76,13 +76,14 @@ class ThreeVSystem(System):
         policy: typing.Optional[AdvancementPolicy] = None,
         faults=None,
         history=None,
+        placement=None,
     ):
         super().__init__(
             node_ids, seed=seed, latency=latency, node_config=node_config,
             detail=detail, fifo_links=fifo_links,
             batch_delivery=batch_delivery,
             plugin=ThreeVPlugin(allow_noncommuting=allow_noncommuting),
-            faults=faults, history=history,
+            faults=faults, history=history, placement=placement,
         )
         self.coordinator = AdvancementCoordinator(
             self.sim, self.network, list(node_ids), self.history,
@@ -138,7 +139,7 @@ class ThreeVSystem(System):
 def _build_3v(node_ids, *, seed, latency, node_config, detail,
               advancement_period, safety_delay, poll_interval,
               allow_noncommuting, faults=None, batch_delivery=False,
-              history=None):
+              history=None, placement=None):
     from repro.core.policy import PeriodicPolicy
 
     return ThreeVSystem(
@@ -147,6 +148,7 @@ def _build_3v(node_ids, *, seed, latency, node_config, detail,
         allow_noncommuting=allow_noncommuting,
         policy=PeriodicPolicy(advancement_period), faults=faults,
         batch_delivery=batch_delivery, history=history,
+        placement=placement,
     )
 
 

@@ -9,7 +9,11 @@ messages and crash/recovers nodes, then audits the wreckage:
   cannot converge under loss hangs the drain and fails here).
 * **Store agreement** — after the drain, every entity's summary value is
   identical on every node the entity spans: exactly-once delivery plus
-  crash-recovery replay must leave no replica behind.
+  crash-recovery replay must leave no replica behind.  With
+  ``--replication-factor`` > 1 the comparison runs per (entity, slot)
+  record across its replica set, and two extra properties apply:
+  recovered replicas must serve zero reads before their refresh
+  completes, and every recovery must end in a completed refresh.
 * **Oracle check** — in ``"bitmask"`` mode each replica's final value
   must decompose to exactly the set of committed recording transactions
   (:meth:`RecordingWorkload.committed_mask`): nothing lost, nothing
@@ -83,6 +87,8 @@ def chaos_spec(
     update_rate: float = 5.0,
     inquiry_rate: float = 3.0,
     audit_rate: float = 0.2,
+    replication_factor: int = 1,
+    refresh_delay: float = 2.0,
 ) -> ExperimentSpec:
     """The canonical chaos experiment: a storm on the bitmask workload."""
     return ExperimentSpec(
@@ -91,6 +97,7 @@ def chaos_spec(
         audit_rate=audit_rate, amount_mode="bitmask", detail=True,
         seed=seed, drop_rate=drop_rate, dup_rate=dup_rate,
         crash_count=crash_count, fault_seed=fault_seed,
+        replication_factor=replication_factor, refresh_delay=refresh_delay,
     )
 
 
@@ -107,19 +114,37 @@ def _committed_bases(history) -> typing.Set[str]:
     }
 
 
+def _expected_masks(workload, history) -> typing.Dict[int, int]:
+    """Per-entity committed-mask oracle (every slot copy must equal it)."""
+    committed = _committed_bases(history)
+    expected: typing.Dict[int, int] = {}
+    for name, (entity, amount) in workload.update_amounts.items():
+        if name in committed:
+            expected[entity] = expected.get(entity, 0) | amount
+    return expected
+
+
 def _check_stores(result) -> typing.Tuple[int, int, int, typing.List[str]]:
-    """Compare every entity's final replicas (and the bitmask oracle)."""
+    """Compare every entity's final replicas (and the bitmask oracle).
+
+    Unreplicated runs compare one ``bal:`` value per entity across the
+    span nodes (the historic check).  Replicated runs compare each
+    (entity, slot) record's copies across its replica set — under
+    write-all-available plus refresh, a recovered replica's copy must be
+    indistinguishable from one that never crashed.
+    """
     workload = result.workload
     history = result.history
     system = result.system
     bitmask = workload.config.amount_mode == "bitmask"
     corrected = set(workload.correction_entities.values())
-    committed = _committed_bases(history)
+    expected_masks = _expected_masks(workload, history) if bitmask else {}
     checked = disagreements = mismatches = 0
     failures: typing.List[str] = []
-    for entity, node_ids in sorted(workload.entity_nodes.items()):
+
+    def check_group(label, key, node_ids, entity) -> None:
+        nonlocal checked, disagreements, mismatches
         checked += 1
-        key = balance_key(entity)
         values = {
             node_id: system.node(node_id).store.read_max_leq(
                 key, _ANY_VERSION, default=None
@@ -130,23 +155,26 @@ def _check_stores(result) -> typing.Tuple[int, int, int, typing.List[str]]:
         if len(distinct) > 1:
             disagreements += 1
             if len(failures) < 5:
-                failures.append(
-                    f"entity {entity} replicas disagree: {values}"
-                )
-            continue
+                failures.append(f"{label} replicas disagree: {values}")
+            return
         if bitmask and entity not in corrected:
-            expected = 0
-            for name, (ent, amount) in workload.update_amounts.items():
-                if ent == entity and name in committed:
-                    expected |= amount
+            expected = expected_masks.get(entity, 0)
             actual = distinct.pop()
             if actual != expected:
                 mismatches += 1
                 if len(failures) < 5:
                     failures.append(
-                        f"entity {entity} final value {actual!r} != "
+                        f"{label} final value {actual!r} != "
                         f"committed mask {expected!r}"
                     )
+
+    if workload.config.replicated:
+        for entity, slot, key, replicas in workload.replica_groups():
+            check_group(f"entity {entity} slot {slot}", key, replicas, entity)
+    else:
+        for entity, node_ids in sorted(workload.entity_nodes.items()):
+            check_group(f"entity {entity}", balance_key(entity), node_ids,
+                        entity)
     return checked, disagreements, mismatches, failures
 
 
@@ -193,6 +221,24 @@ def run_chaos_spec(
             f"{summary.crashes - summary.recoveries} crash(es) never "
             "recovered before the drain"
         )
+
+    if spec.replication_factor > 1:
+        # Recovery-readability: a recovered replica must never serve a
+        # read before its refresh completes, and every recovery must end
+        # in a completed refresh (2PC legitimately self-refreshes: its
+        # engine blocks on down replicas instead of skipping, so there is
+        # never anything to transfer).
+        if summary.unreadable_reads_served > 0:
+            failures.append(
+                f"{summary.unreadable_reads_served} read(s) served by "
+                "recovered-but-unrefreshed replicas"
+            )
+        refreshes = summary.refreshes_completed + summary.self_refreshes
+        if summary.recoveries > 0 and refreshes < summary.recoveries:
+            failures.append(
+                f"only {refreshes} refresh(es) completed for "
+                f"{summary.recoveries} recover(ies)"
+            )
 
     repeat_identical: typing.Optional[bool] = None
     if verify_repeat:

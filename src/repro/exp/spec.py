@@ -94,6 +94,16 @@ PARAMETERS: typing.Tuple[Parameter, ...] = (
               "crash/recover cycles per node (fault injection)"),
     Parameter("fault-seed", "fault_seed", int, 0,
               "seed for the fault schedule (independent of the workload)"),
+    # Replication axes (repro.placement): replication-factor 1 means no
+    # placement machinery is attached and the run is bit-identical to the
+    # single-owner path (digest() also omits both fields then, so specs
+    # predating replication keep their content addresses).
+    Parameter("replication-factor", "replication_factor", int, 1,
+              "replicas per record: read-one / write-all-available "
+              "(1 = unreplicated, bit-identical to the historic path)"),
+    Parameter("refresh-delay", "refresh_delay", float, 2.0,
+              "delay between a replica's recovery and its refresh "
+              "request (it serves no reads until refresh completes)"),
 )
 
 PARAMETERS_BY_FLAG: typing.Dict[str, Parameter] = {
@@ -172,6 +182,8 @@ class ExperimentSpec:
     dup_rate: float = 0.0
     crash_count: int = 0
     fault_seed: int = 0
+    replication_factor: int = 1
+    refresh_delay: float = 2.0
 
     def replace(self, **changes) -> "ExperimentSpec":
         """A copy with some fields changed (specs are immutable)."""
@@ -194,6 +206,12 @@ class ExperimentSpec:
         must stay exact.
         """
         payload = dataclasses.asdict(self)
+        if self.replication_factor == 1:
+            # Unreplicated specs hash exactly as they did before the
+            # replication axes existed, keeping every cached fleet digest
+            # valid; refresh_delay is placement-only so it drops too.
+            payload.pop("replication_factor")
+            payload.pop("refresh_delay")
         payload["_spec_version"] = _SPEC_DIGEST_VERSION
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()

@@ -88,6 +88,16 @@ class ExperimentSummary:
     # delivery batching (zero unless the spec set batch_delivery)
     delivery_batches: int = 0
     batched_messages: int = 0
+    # replication / placement (all zero unless the spec set
+    # replication_factor > 1; defaulted so pre-replication summaries
+    # still deserialize)
+    reads_rerouted: int = 0
+    reads_gated: int = 0
+    writes_skipped: int = 0
+    refresh_ops_applied: int = 0
+    refreshes_completed: int = 0
+    self_refreshes: int = 0
+    unreadable_reads_served: int = 0
     # worker-side wall-clock of the simulation itself (excluded from the
     # determinism digest: it is the one machine-dependent field, kept so
     # scaling benchmarks can compare configurations through the fleet)
@@ -135,6 +145,8 @@ def summarize(spec: ExperimentSpec, result, report) -> ExperimentSummary:
     else:
         advancement_runs = len(history.advancements)
     counter_polls = sum(a.counter_polls for a in history.advancements)
+    placement = getattr(result.system, "placement", None)
+    placement_counters = placement.counters() if placement is not None else {}
     return ExperimentSummary(
         spec_digest=spec.digest(),
         protocol=spec.protocol,
@@ -176,6 +188,14 @@ def summarize(spec: ExperimentSpec, result, report) -> ExperimentSummary:
         recoveries=getattr(result.system, "recovery_count", 0),
         delivery_batches=stats.batches,
         batched_messages=stats.batched_messages,
+        reads_rerouted=placement_counters.get("reads_rerouted", 0),
+        reads_gated=placement_counters.get("reads_gated", 0),
+        writes_skipped=placement_counters.get("writes_skipped", 0),
+        refresh_ops_applied=placement_counters.get("refresh_ops_applied", 0),
+        refreshes_completed=placement_counters.get("refreshes_completed", 0),
+        self_refreshes=placement_counters.get("self_refreshes", 0),
+        unreadable_reads_served=placement_counters.get(
+            "unreadable_reads_served", 0),
     )
 
 

@@ -43,6 +43,9 @@ class MessageKind:
     UNFREEZE = _intern("unfreeze")
     ACTIVE_QUERY = _intern("active-query")
     ACTIVE_REPLY = _intern("active-reply")
+    # Replica refresh traffic (recovery-readability, repro.placement).
+    REFRESH_REQUEST = _intern("refresh-request")
+    REFRESH_REPLY = _intern("refresh-reply")
     # NC3V / two-phase commit traffic (Section 5).
     LOCK_RELEASE = _intern("lock-release")
     PREPARE = _intern("prepare")
@@ -71,6 +74,8 @@ class MessageKind:
             UNFREEZE,
             ACTIVE_QUERY,
             ACTIVE_REPLY,
+            REFRESH_REQUEST,
+            REFRESH_REPLY,
         }
     )
     COMMIT_KINDS = frozenset({LOCK_RELEASE, PREPARE, VOTE, DECISION, DECISION_ACK})

@@ -1,0 +1,168 @@
+"""Runtime placement state: read-one routing and write-all-available skips.
+
+``PlacementState`` is what the runtime consults when replication is on
+(``replication_factor > 1``); a system built without one behaves exactly
+as before, and the hot paths guard every hook behind a single ``None``
+check.  Three duties:
+
+* **Read-one routing.**  At submit time a read-only transaction's
+  subtransactions are re-pointed from unreadable replicas to the first
+  readable alternate (:meth:`route_reads`, via ``TxnIndex`` overrides).
+  A read that still lands on an unreadable node — queued before the
+  crash, or with no readable alternate — waits on the node's refresh
+  gate instead of observing stale state.
+
+* **Write-all-available.**  Write fan-out to a down or unrefreshed
+  replica is skipped entirely — no request accounting, no completion
+  owed, so aggregate quiescence stays sound — and the skipped operations
+  are ledgered for the refresh protocol (:meth:`record_skip`).  A
+  compensation that overtakes a skipped original cancels the ledger
+  entry: the pair annihilates (:meth:`cancel_skip`).
+
+* **Recovery-readability.**  Crash/recover transitions and the
+  ``REFRESH_*`` message handlers are delegated to
+  :class:`~repro.placement.refresh.RefreshProtocol`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import SimulationError
+from repro.net.message import MessageKind
+from repro.placement.refresh import MissedOp, MissedOpLedger, RefreshProtocol
+
+
+class PlacementState:
+    """Replication runtime state for one system (pass via ``placement=``)."""
+
+    def __init__(self, refresh_delay: float = 2.0):
+        if refresh_delay <= 0:
+            raise SimulationError(
+                f"refresh_delay must be > 0, got {refresh_delay!r}"
+            )
+        self.ledger = MissedOpLedger()
+        self.refresh = RefreshProtocol(self.ledger, refresh_delay)
+        self.system = None
+        self.reads_rerouted = 0
+        self.reads_gated = 0
+        #: Child dispatches skipped because the target replica was
+        #: unavailable (each may ledger several operations).
+        self.writes_skipped = 0
+        self.ops_ledgered = 0
+        self.ops_cancelled = 0
+        #: Invariant counter — must stay 0: reads executed at a node that
+        #: was still unrefreshed (the chaos harness scores this).
+        self.unreadable_reads_served = 0
+
+    @property
+    def refresh_delay(self) -> float:
+        return self.refresh.refresh_delay
+
+    def bind(self, system) -> None:
+        self.system = system
+        self.refresh.bind(system)
+
+    # ------------------------------------------------------------------
+    # Read-one routing
+    # ------------------------------------------------------------------
+
+    def readable(self, node_id: str) -> bool:
+        return self.refresh.readable(node_id)
+
+    def route_reads(self, index) -> None:
+        """Re-point a read-only tree's subtxns away from unreadable nodes."""
+        overrides = {}
+        for sid, spec in index.by_id.items():
+            if self.readable(spec.node):
+                continue
+            for alternate in getattr(spec, "alternates", ()):
+                if self.readable(alternate):
+                    overrides[sid] = alternate
+                    break
+        if overrides:
+            index.set_overrides(overrides)
+            self.reads_rerouted += len(overrides)
+
+    def read_gate(self, node_id: str):
+        """Refresh gate for a read arriving at an unreadable node."""
+        gate = self.refresh.read_gate(node_id)
+        if gate is not None:
+            self.reads_gated += 1
+        return gate
+
+    def note_read_served(self, node_id: str) -> None:
+        if node_id in self.refresh.unrefreshed:
+            self.unreadable_reads_served += 1
+
+    # ------------------------------------------------------------------
+    # Write-all-available
+    # ------------------------------------------------------------------
+
+    def should_skip_write(self, target: str, instance) -> bool:
+        """Skip fan-out of an original write to an unavailable replica."""
+        if instance.compensating or instance.txn.is_read_only:
+            return False
+        return (target in self.system.down_nodes
+                or target in self.refresh.unrefreshed)
+
+    def record_skip(
+        self,
+        target: str,
+        txn_name: str,
+        sid: str,
+        version: int,
+        write_ops: typing.Iterable[typing.Tuple[typing.Hashable, typing.Any]],
+    ) -> None:
+        """Ledger the operations of one skipped child dispatch."""
+        entries = [
+            MissedOp(txn=txn_name, sid=sid, key=key, version=version,
+                     operation=operation)
+            for key, operation in write_ops
+        ]
+        self.ledger.record(target, entries)
+        self.writes_skipped += 1
+        self.ops_ledgered += len(entries)
+
+    def cancel_skip(self, target: str, txn_name: str, sid: str) -> None:
+        """Compensation overtook a skipped original: annihilate the pair."""
+        self.ops_cancelled += self.ledger.cancel(target, txn_name, sid)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery / refresh plumbing
+    # ------------------------------------------------------------------
+
+    def on_crash(self, node_id: str) -> None:
+        """Hook for symmetry; DOWN is tracked by ``system.down_nodes``."""
+
+    def on_recover(self, node_id: str) -> None:
+        self.refresh.on_recover(node_id)
+
+    def handle_message(self, node, message) -> bool:
+        """Route ``REFRESH_*`` traffic; returns True when consumed."""
+        kind = message.kind
+        if kind == MessageKind.REFRESH_REQUEST:
+            self.refresh.handle_request(node, message)
+            return True
+        if kind == MessageKind.REFRESH_REPLY:
+            self.refresh.handle_reply(node, message)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def counters(self) -> typing.Dict[str, int]:
+        return {
+            "reads_rerouted": self.reads_rerouted,
+            "reads_gated": self.reads_gated,
+            "writes_skipped": self.writes_skipped,
+            "ops_ledgered": self.ops_ledgered,
+            "ops_cancelled": self.ops_cancelled,
+            "refreshes_completed": self.refresh.refreshes_completed,
+            "self_refreshes": self.refresh.self_refreshes,
+            "refresh_ops_applied": self.refresh.refresh_ops_applied,
+            "refresh_retries": self.refresh.refresh_retries,
+            "unreadable_reads_served": self.unreadable_reads_served,
+        }

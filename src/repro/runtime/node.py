@@ -112,6 +112,9 @@ class ProtocolNode:
             )
         elif kind == MessageKind.COMPLETION_NOTICE:
             self._on_completion_notice(message.payload)
+        elif (kind == MessageKind.REFRESH_REQUEST
+              or kind == MessageKind.REFRESH_REPLY):
+            self.system.placement.handle_message(self, message)
         else:
             self.plugin.handle_message(self, message)
 
@@ -140,6 +143,20 @@ class ProtocolNode:
 
     def run_subtxn(self, instance: SubtxnInstance):
         plugin = self.plugin
+
+        # --- Recovery-readability (before any protocol policy, so the
+        # gate also covers transactions a plugin diverts via takeover):
+        # a read at a recovered-but-unrefreshed replica waits for the
+        # refresh to complete rather than observing stale state. --------
+        placement = self.system.placement
+        if placement is not None and instance.txn.is_read_only:
+            while True:
+                gate = placement.read_gate(self.node_id)
+                if gate is None:
+                    break
+                yield gate
+            placement.note_read_served(self.node_id)
+
         kind = plugin.classify(instance)
 
         # A plugin may divert this transaction class into its own
@@ -222,9 +239,15 @@ class ProtocolNode:
         if instance.compensating:
             if instance.sid not in self._executed.get(name, ()):
                 # Compensation overtook the original: leave a tombstone so
-                # the original becomes a no-op when it arrives.
+                # the original becomes a no-op when it arrives.  If the
+                # original was skipped for this replica (write-all-
+                # available), the ledgered copy is cancelled instead —
+                # the pair annihilates, so the refresh must not apply it.
                 self._tombstones.setdefault(name, set()).add(instance.sid)
                 self.tombstones_created += 1
+                placement = self.system.placement
+                if placement is not None:
+                    placement.cancel_skip(self.node_id, name, instance.sid)
                 return True
             self.plugin.apply_inverses(self, instance)
             return False
@@ -243,10 +266,29 @@ class ProtocolNode:
     def _dispatch_children(self, instance: SubtxnInstance,
                            tracker: CompletionTracker) -> None:
         plugin = self.plugin
+        placement = self.system.placement
         for child_sid in instance.index.children[instance.sid]:
+            target = instance.index.node_of(child_sid)
+            if (placement is not None
+                    and not instance.index.children[child_sid]
+                    and placement.should_skip_write(target, instance)):
+                # Only leaf children can be skipped: an interior child
+                # carries dispatch responsibility for its own subtree.
+                # Write-all-available: the replica is down or unrefreshed,
+                # so its copy is skipped — no request counter increment,
+                # no completion owed (aggregate quiescence stays balanced)
+                # — and the missed operations are ledgered for the
+                # refresh that will re-admit the replica.
+                placement.record_skip(
+                    target, instance.txn.name, child_sid,
+                    instance.version if instance.version is not None else 0,
+                    [(op.key, op.operation)
+                     for op in instance.index.by_id[child_sid].ops
+                     if hasattr(op, "operation")],
+                )
+                continue
             child = instance.child_instance(child_sid, self.node_id)
             child.notify_key = instance.instance_key
-            target = instance.index.node_of(child_sid)
             # Step 5: request accounting happens *before* sending.
             plugin.note_request(self, instance.version, target)
             tracker.outstanding_children += 1

@@ -214,6 +214,25 @@ class ProtocolPlugin:
         node.store.apply_exact(key, version, operation)
         return 1
 
+    def apply_refresh_op(self, node, key, version: int, operation) -> None:
+        """Apply one missed write during a replica refresh.
+
+        Refresh operations are reconciliation, not new requests: they
+        bypass request/completion accounting entirely (the skipped
+        dispatch never incremented a request counter, so no completion is
+        owed) and re-apply the commuting operation at its original
+        version with the dual-write ``apply_geq`` rule, so every version
+        copy at or above it absorbs the update.  If garbage collection
+        moved the chain floor past the op's version while the replica was
+        down, the op lands on the floor instead — exactly where a live
+        replica's own GC would have folded it.
+        """
+        versions = node.store.versions(key)
+        if versions and version < versions[0]:
+            version = versions[0]
+        node.store.ensure_version(key, version)
+        node.store.apply_geq(key, version, operation)
+
     # ------------------------------------------------------------------
     # Commit / completion participation
     # ------------------------------------------------------------------

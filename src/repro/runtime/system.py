@@ -52,6 +52,14 @@ class System:
             bounded-memory runs).  ``None`` builds the materialized
             default; when supplied, ``detail`` is the history's concern
             and the argument only shapes per-node event capture.
+        placement: Optional :class:`repro.placement.PlacementState`.
+            Turns on replica-aware routing: read-only submissions are
+            re-pointed to readable replicas, write fan-out skips
+            unavailable replicas (write-all-available), and recovered
+            nodes stay unreadable until the refresh protocol re-admits
+            them.  ``None`` (the default, and always the case at
+            ``replication_factor=1``) keeps every hot path bit-identical
+            to the unreplicated system.
     """
 
     #: Plugin built when the ``plugin`` argument is omitted.
@@ -69,6 +77,7 @@ class System:
         plugin: typing.Optional[ProtocolPlugin] = None,
         faults=None,
         history: typing.Optional[History] = None,
+        placement=None,
     ):
         if not node_ids:
             raise ProtocolError("a system needs at least one node")
@@ -97,9 +106,12 @@ class System:
         self.down_nodes: typing.Set[str] = set()
         self.crash_count = 0
         self.recovery_count = 0
+        self.placement = placement
         self.nodes: typing.Dict[str, ProtocolNode] = {
             node_id: ProtocolNode(self, node_id) for node_id in node_ids
         }
+        if placement is not None:
+            placement.bind(self)
         if faults is not None:
             for event in faults.crashes:
                 if event.node in self.nodes:
@@ -144,13 +156,18 @@ class System:
     # ------------------------------------------------------------------
 
     def submit(self, spec: TransactionSpec) -> None:
-        """Submit a transaction now; its root runs at ``spec.root.node``."""
+        """Submit a transaction now; its root runs at ``spec.root.node``
+        (or, for read-only trees under replication, at the first readable
+        replica when the spec's node is unavailable — read-one routing)."""
         index = TxnIndex(spec)
+        if self.placement is not None and spec.is_read_only:
+            self.placement.route_reads(index)
+        root_node = index.node_of(index.root_id)
         instance = SubtxnInstance(
             txn=spec, index=index, sid=index.root_id, version=None,
-            source_node=spec.root.node,
+            source_node=root_node,
         )
-        self.node(spec.root.node).submit(instance)
+        self.node(root_node).submit(instance)
         self._submitted += 1
 
     def submit_at(self, time: float, spec: TransactionSpec) -> None:
@@ -190,6 +207,8 @@ class System:
         self.down_nodes.add(node_id)
         self.crash_count += 1
         node._mailbox.freeze()
+        if self.placement is not None:
+            self.placement.on_crash(node_id)
 
     def recover(self, node_id: str) -> None:
         """Bring a crashed node back: replay the journal, re-arm, thaw.
@@ -207,6 +226,11 @@ class System:
         self.plugin.on_recover(node)
         self.down_nodes.discard(node_id)
         self.recovery_count += 1
+        if self.placement is not None:
+            # Mark the replica unreadable *before* thawing: reads queued
+            # while it was down must hit the refresh gate, not the
+            # journal-replayed (but refresh-pending) store.
+            self.placement.on_recover(node_id)
         node._mailbox.thaw()
 
     def _scheduled_crash(self, event) -> None:

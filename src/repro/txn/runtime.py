@@ -32,6 +32,11 @@ class TxnIndex:
         self.by_id: typing.Dict[str, SubtxnSpec] = {}
         self.parent: typing.Dict[str, typing.Optional[str]] = {}
         self.children: typing.Dict[str, typing.List[str]] = {}
+        #: Per-submission node overrides (read-one replica routing).  The
+        #: spec tree is shared and never mutated; re-pointing a read at a
+        #: different replica is recorded here instead.  ``None`` (the
+        #: common case) keeps :meth:`node_of` a plain dict lookup.
+        self._overrides: typing.Optional[typing.Dict[str, str]] = None
         self._build(spec.root, self.root_id, None)
 
     def _build(self, node: SubtxnSpec, node_id: str,
@@ -50,8 +55,16 @@ class TxnIndex:
             self._build(child, child_id, node_id)
 
     def node_of(self, sid: str) -> str:
-        """Database node a subtransaction runs on."""
+        """Database node a subtransaction runs on (override-aware)."""
+        if self._overrides is not None:
+            override = self._overrides.get(sid)
+            if override is not None:
+                return override
         return self.by_id[sid].node
+
+    def set_overrides(self, overrides: typing.Dict[str, str]) -> None:
+        """Install per-subtransaction node overrides for this submission."""
+        self._overrides = dict(overrides)
 
     def neighbours(self, sid: str) -> typing.List[str]:
         """Parent and children ids (the compensation routing fan-out)."""

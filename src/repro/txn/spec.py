@@ -60,6 +60,11 @@ class SubtxnSpec:
         abort_here: If ``True``, this subtransaction aborts after executing
             its local operations, triggering compensation of the whole tree
             (Section 3.2).
+        alternates: Other nodes holding a readable copy of this
+            subtransaction's data (read-one replication).  At submit time
+            the placement layer may re-point a read-only subtransaction to
+            the first *readable* alternate when ``node`` is down or
+            unrefreshed; empty for writes and for unreplicated data.
     """
 
     node: str
@@ -67,6 +72,7 @@ class SubtxnSpec:
     children: typing.List["SubtxnSpec"] = dataclasses.field(default_factory=list)
     label: str = ""
     abort_here: bool = False
+    alternates: typing.Tuple[str, ...] = ()
 
     def walk(self) -> typing.Iterator["SubtxnSpec"]:
         """Yield this spec and every descendant, depth-first."""

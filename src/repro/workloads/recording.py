@@ -6,17 +6,29 @@ recorded data".  This module generates exactly that shape:
 
 * **Recording transactions** (well-behaved updates): for one *entity*
   (a patient, a phone account, a SKU), insert an observation into the
-  entity's per-node log and increment the entity's per-node summary, on
-  every node the entity spans — a multi-node transaction tree rooted at one
+  entity's per-slot log and increment the entity's per-slot summary, on
+  every replica of every slot — a multi-node transaction tree rooted at one
   of the entity's nodes.
-* **Inquiry transactions** (read-only): read the entity's summary on every
-  node it spans (the "customer enquiry" that must never see a partial
-  visit).
+* **Inquiry transactions** (read-only): read the entity's summary for every
+  slot (the "customer enquiry" that must never see a partial visit).
 * **Audit transactions** (read-only): read the summaries of many entities
   (the "bookkeeping" query).
 * **Correction transactions** (non-commuting, optional): overwrite an
-  entity's summary on its nodes — the non-well-behaved updates NC3V exists
-  for.
+  entity's summaries on all replicas — the non-well-behaved updates NC3V
+  exists for.
+
+Two orthogonal placement axes — do not confuse them:
+
+* ``span`` spreads **distinct records** (slots) of one entity across
+  different nodes: slot 0 and slot 1 are *different* data items, and a
+  span-2 entity has its visit recorded in two places that must be read
+  together.  Span is about distribution of load and multi-node trees.
+* ``replication_factor`` makes **copies** of each record: every (entity,
+  slot) data item lives on ``rf`` replica nodes that must converge to the
+  same value.  Replication is about availability — rf=1 (the default)
+  reproduces the historic single-owner placement bit for bit, while rf>1
+  fans writes out write-all-available and serves reads from any readable
+  replica (see :mod:`repro.placement`).
 
 Amount modes:
 
@@ -36,19 +48,30 @@ import dataclasses
 import typing
 
 from repro.errors import ReproError
+from repro.placement import ReplicaMap
 from repro.sim.distributions import RngRegistry
 from repro.storage.values import Assign, Increment, Record
 from repro.txn.spec import ReadOp, SubtxnSpec, TransactionSpec, WriteOp
 
 
-def balance_key(entity: int):
-    """Summary data item of an entity (same key string on each node)."""
-    return f"bal:{entity}"
+def balance_key(entity: int, slot: typing.Optional[int] = None):
+    """Summary data item of an entity.
+
+    Unreplicated data keeps the historic unqualified key (one record per
+    entity-slot, but the same key string on each of the entity's nodes).
+    Replicated data qualifies the key with its slot so that two slots of
+    one entity can host replicas on the same node without colliding.
+    """
+    if slot is None:
+        return f"bal:{entity}"
+    return f"bal:{entity}#{slot}"
 
 
-def log_key(entity: int):
-    """Observation log data item of an entity."""
-    return f"log:{entity}"
+def log_key(entity: int, slot: typing.Optional[int] = None):
+    """Observation log data item of an entity (slot-qualified when rf>1)."""
+    if slot is None:
+        return f"log:{entity}"
+    return f"log:{entity}#{slot}"
 
 
 @dataclasses.dataclass
@@ -58,7 +81,12 @@ class RecordingConfig:
     Attributes:
         nodes: Database nodes.
         entities: Number of distinct entities.
-        span: Nodes per entity (the multi-node fan-out of its records).
+        span: Slots per entity — how many *distinct* records an entity
+            spreads across different nodes.  Orthogonal to replication.
+        replication_factor: Copies of every record.  ``1`` (default) is
+            the historic single-owner placement, bit-identical to runs
+            that predate the replication axis; ``rf > 1`` places each
+            (entity, slot) record on ``rf`` distinct replica nodes.
         amount_mode: ``"money"`` or ``"bitmask"`` (see module docstring).
         charge_low/charge_high: Charge range for ``"money"`` mode.
         with_observations: Also insert :class:`Record` observations (doubles
@@ -83,16 +111,28 @@ class RecordingConfig:
     audit_entities: int = 10
     abort_fraction: float = 0.0
     zipf: float = 0.0
+    replication_factor: int = 1
 
     def __post_init__(self):
         if self.span < 1 or self.span > len(self.nodes):
             raise ReproError(
                 f"entity span {self.span} invalid for {len(self.nodes)} nodes"
             )
+        if not 1 <= self.replication_factor <= len(self.nodes):
+            raise ReproError(
+                f"replication_factor {self.replication_factor} invalid for "
+                f"{len(self.nodes)} node(s): replicas are copies of one "
+                f"record and must land on distinct nodes (use span to "
+                f"spread distinct records instead)"
+            )
         if self.amount_mode not in ("money", "bitmask"):
             raise ReproError(f"unknown amount mode: {self.amount_mode!r}")
         if self.zipf < 0:
             raise ReproError(f"zipf exponent must be >= 0: {self.zipf}")
+
+    @property
+    def replicated(self) -> bool:
+        return self.replication_factor > 1
 
 
 class RecordingWorkload:
@@ -102,14 +142,20 @@ class RecordingWorkload:
         self.config = config
         self.rngs = rngs
         self._rng = rngs.stream("workload.recording")
-        #: entity -> ordered list of nodes its records live on.
-        self.entity_nodes: typing.Dict[int, typing.List[str]] = {}
-        nodes = list(config.nodes)
-        for entity in range(config.entities):
-            start = self._rng.randrange(len(nodes))
-            self.entity_nodes[entity] = [
-                nodes[(start + i) % len(nodes)] for i in range(config.span)
-            ]
+        #: Deterministic (entity, slot) -> ordered replica list placement.
+        #: Consumes one ``randrange`` per entity — the exact draw sequence
+        #: the pre-replication workload used for its single-owner map.
+        self.placement_map = ReplicaMap.generate(
+            config.nodes, config.entities, config.span,
+            config.replication_factor, self._rng,
+        )
+        #: entity -> ordered list of slot *homes* (each slot's primary).
+        #: At rf=1 this is the complete placement; at rf>1 each slot has
+        #: ``rf - 1`` further replicas behind its home.
+        self.entity_homes: typing.Dict[int, typing.List[str]] = {
+            entity: self.placement_map.homes(entity)
+            for entity in range(config.entities)
+        }
         #: Cumulative Zipf weights over entities (None when uniform).
         self._zipf_cumulative: typing.Optional[typing.List[float]] = None
         if config.zipf > 0:
@@ -132,16 +178,40 @@ class RecordingWorkload:
         #: longer decompose as bitmasks, so the snapshot oracle skips them.
         self.correction_entities: typing.Dict[str, int] = {}
 
+    @property
+    def entity_nodes(self) -> typing.Dict[int, typing.List[str]]:
+        """Compatibility alias for :attr:`entity_homes` (the historic name,
+        from before replication distinguished a slot's home from its other
+        replicas)."""
+        return self.entity_homes
+
+    # ------------------------------------------------------------------
+    # Key helpers (slot-qualified only under replication)
+    # ------------------------------------------------------------------
+
+    def _bal(self, entity: int, slot: int):
+        return balance_key(entity, slot if self.config.replicated else None)
+
+    def _log(self, entity: int, slot: int):
+        return log_key(entity, slot if self.config.replicated else None)
+
+    def replica_groups(self):
+        """Iterate ``(entity, slot, balance_key, replicas)`` over every
+        record — the cross-replica agreement surface the chaos harness
+        checks at quiescence."""
+        for entity, slot, replicas in self.placement_map.slot_items():
+            yield entity, slot, self._bal(entity, slot), replicas
+
     # ------------------------------------------------------------------
     # Initial data
     # ------------------------------------------------------------------
 
     def install(self, system) -> None:
-        """Load zero balances and empty logs for every entity."""
-        for entity, nodes in self.entity_nodes.items():
-            for node in nodes:
-                system.load(node, balance_key(entity), 0)
-                system.load(node, log_key(entity), ())
+        """Load zero balances and empty logs on every replica."""
+        for entity, slot, replicas in self.placement_map.slot_items():
+            for node in replicas:
+                system.load(node, self._bal(entity, slot), 0)
+                system.load(node, self._log(entity, slot), ())
 
     # ------------------------------------------------------------------
     # Transaction builders
@@ -162,10 +232,30 @@ class RecordingWorkload:
         return round(self._rng.uniform(self.config.charge_low,
                                        self.config.charge_high), 2)
 
+    def _write_groups(self, entity: int, make_ops) -> typing.Dict[str, list]:
+        """Group one entity's per-record writes by target node.
+
+        Iterates slots in order and each slot's replicas in placement
+        order, calling ``make_ops(slot, node)`` for every copy; the
+        node's ops accumulate in first-appearance order.  At rf=1 the
+        replica list collapses to the slot home, reproducing the historic
+        one-group-per-span-node trees exactly.
+        """
+        groups: typing.Dict[str, list] = {}
+        for slot in range(self.config.span):
+            for node in self.placement_map.replicas(entity, slot):
+                groups.setdefault(node, []).extend(make_ops(slot, node))
+        return groups
+
     def make_recording(self, index: int) -> TransactionSpec:
-        """A well-behaved multi-node recording transaction."""
+        """A well-behaved multi-node recording transaction.
+
+        Under replication every replica of every slot receives its own
+        copy of the commuting increment (write-all-available fan-out);
+        the observation payload records the *slot* rather than the node
+        so replica copies stay byte-identical.
+        """
         entity = self._pick_entity()
-        nodes = self.entity_nodes[entity]
         amount = self._amount(entity)
         name = f"rec-{index}"
         if self.track_amounts:
@@ -174,79 +264,135 @@ class RecordingWorkload:
             self.config.abort_fraction > 0
             and self._rng.random() < self.config.abort_fraction
         )
+        replicated = self.config.replicated
 
-        def ops(node: str) -> list:
-            result = [WriteOp(balance_key(entity), Increment(amount))]
+        def ops(slot: int, node: str) -> list:
+            result = [WriteOp(self._bal(entity, slot), Increment(amount))]
             if self.config.with_observations:
+                tag = slot if replicated else node
                 result.append(
-                    WriteOp(log_key(entity), Record((name, node)))
+                    WriteOp(self._log(entity, slot), Record((name, tag)))
                 )
             return result
 
+        groups = self._write_groups(entity, ops)
+        targets = list(groups)
         children = [
-            SubtxnSpec(node=node, ops=ops(node)) for node in nodes[1:]
+            SubtxnSpec(node=node, ops=groups[node]) for node in targets[1:]
         ]
         if abort and children:
             children[-1].abort_here = True
-        root = SubtxnSpec(node=nodes[0], ops=ops(nodes[0]), children=children)
+        root = SubtxnSpec(
+            node=targets[0], ops=groups[targets[0]], children=children
+        )
         if abort and not children:
             root.abort_here = True
         return TransactionSpec(name=name, root=root)
 
     def make_inquiry(self, index: int) -> TransactionSpec:
-        """Read one entity's summary on every node it spans."""
+        """Read one entity's summary for every slot (read-one per record).
+
+        Each slot is read at its home replica; under replication the spec
+        carries the slot's other replicas as ``alternates`` so the
+        placement layer can re-point the read at any readable copy.
+        """
         entity = self._pick_entity()
-        nodes = self.entity_nodes[entity]
-        children = [
-            SubtxnSpec(node=node, ops=[ReadOp(balance_key(entity))])
-            for node in nodes[1:]
+        name = f"inq-{index}:{entity}"
+        if not self.config.replicated:
+            nodes = self.entity_homes[entity]
+            children = [
+                SubtxnSpec(node=node, ops=[ReadOp(balance_key(entity))])
+                for node in nodes[1:]
+            ]
+            root = SubtxnSpec(
+                node=nodes[0], ops=[ReadOp(balance_key(entity))],
+                children=children,
+            )
+            return TransactionSpec(name=name, root=root)
+        specs = [
+            SubtxnSpec(
+                node=replicas[0],
+                ops=[ReadOp(self._bal(entity, slot))],
+                alternates=replicas[1:],
+                label=f"s{slot}",
+            )
+            for slot, replicas in (
+                (s, self.placement_map.replicas(entity, s))
+                for s in range(self.config.span)
+            )
         ]
-        root = SubtxnSpec(
-            node=nodes[0], ops=[ReadOp(balance_key(entity))], children=children
-        )
-        return TransactionSpec(name=f"inq-{index}:{entity}", root=root)
+        root = specs[0]
+        root.children = specs[1:]
+        return TransactionSpec(name=name, root=root)
 
     def make_audit(self, index: int) -> TransactionSpec:
         """Read the summaries of several entities (fans out wide)."""
         count = min(self.config.audit_entities, self.config.entities)
         entities = self._rng.sample(range(self.config.entities), count)
-        # Group reads by node; root at the busiest node.
-        by_node: typing.Dict[str, list] = {}
+        name = f"aud-{index}"
+        if not self.config.replicated:
+            # Group reads by node; root at the busiest node.
+            by_node: typing.Dict[str, list] = {}
+            for entity in entities:
+                for node in self.entity_homes[entity]:
+                    by_node.setdefault(node, []).append(
+                        ReadOp(balance_key(entity))
+                    )
+            nodes_sorted = sorted(
+                by_node, key=lambda n: len(by_node[n]), reverse=True
+            )
+            root_node = nodes_sorted[0]
+            children = [
+                SubtxnSpec(node=node, ops=by_node[node])
+                for node in nodes_sorted[1:]
+            ]
+            root = SubtxnSpec(
+                node=root_node, ops=by_node[root_node], children=children
+            )
+            return TransactionSpec(name=name, root=root)
+        # Replicated: one read per record at its home, alternates attached,
+        # so each record independently falls back to a readable replica.
+        specs = []
         for entity in entities:
-            for node in self.entity_nodes[entity]:
-                by_node.setdefault(node, []).append(
-                    ReadOp(balance_key(entity))
+            for slot in range(self.config.span):
+                replicas = self.placement_map.replicas(entity, slot)
+                specs.append(
+                    SubtxnSpec(
+                        node=replicas[0],
+                        ops=[ReadOp(self._bal(entity, slot))],
+                        alternates=replicas[1:],
+                        label=f"e{entity}s{slot}",
+                    )
                 )
-        nodes_sorted = sorted(
-            by_node, key=lambda n: len(by_node[n]), reverse=True
-        )
-        root_node = nodes_sorted[0]
-        children = [
-            SubtxnSpec(node=node, ops=by_node[node])
-            for node in nodes_sorted[1:]
-        ]
-        root = SubtxnSpec(
-            node=root_node, ops=by_node[root_node], children=children
-        )
-        return TransactionSpec(name=f"aud-{index}", root=root)
+        root = specs[0]
+        root.children = specs[1:]
+        return TransactionSpec(name=name, root=root)
 
     def make_correction(self, index: int, value: typing.Optional[int] = None
                         ) -> TransactionSpec:
-        """A non-commuting overwrite of one entity's summaries (NC3V)."""
+        """A non-commuting overwrite of one entity's summaries (NC3V).
+
+        Corrections write *all* replicas and do not skip unavailable ones:
+        a non-commuting assign cannot be replayed out of order, so the
+        two-phase engine simply blocks on a down replica until it
+        recovers — the availability contrast with write-all-available
+        commuting updates is the point of the comparison.
+        """
         entity = self._pick_entity()
-        nodes = self.entity_nodes[entity]
         new_value = value if value is not None else round(
             self._rng.uniform(0.0, 100.0), 2
         )
+
+        def ops(slot: int, node: str) -> list:
+            return [WriteOp(self._bal(entity, slot), Assign(new_value))]
+
+        groups = self._write_groups(entity, ops)
+        targets = list(groups)
         children = [
-            SubtxnSpec(node=node,
-                       ops=[WriteOp(balance_key(entity), Assign(new_value))])
-            for node in nodes[1:]
+            SubtxnSpec(node=node, ops=groups[node]) for node in targets[1:]
         ]
         root = SubtxnSpec(
-            node=nodes[0],
-            ops=[WriteOp(balance_key(entity), Assign(new_value))],
-            children=children,
+            node=targets[0], ops=groups[targets[0]], children=children
         )
         self.correction_entities[f"cor-{index}"] = entity
         return TransactionSpec(name=f"cor-{index}", root=root)

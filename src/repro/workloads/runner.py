@@ -103,6 +103,7 @@ def build_system(
     batch_delivery: bool = False,
     latency_jitter: float = 1.0,
     history=None,
+    placement=None,
 ):
     """Instantiate any registered protocol behind a uniform interface.
 
@@ -110,6 +111,9 @@ def build_system(
     when an explicit ``latency`` is supplied.  ``history`` injects a
     pre-built recording surface (a :class:`StreamingHistory` for
     bounded-memory runs); ``None`` keeps the materialized default.
+    ``placement`` injects a :class:`repro.placement.PlacementState` for
+    replicated runs; ``None`` (always the case at rf=1) keeps the
+    unreplicated hot paths bit-identical.
     """
     if latency is None:
         latency = default_latency(latency_jitter)
@@ -123,6 +127,7 @@ def build_system(
         safety_delay=safety_delay, poll_interval=poll_interval,
         allow_noncommuting=allow_noncommuting, faults=faults,
         batch_delivery=batch_delivery, history=history,
+        placement=placement,
     )
 
 
@@ -153,6 +158,8 @@ def run_recording_experiment(
     with_observations: int = 1,
     trace_path=None,
     stream_aggregates: bool = True,
+    replication_factor: int = 1,
+    refresh_delay: float = 2.0,
     **system_kwargs,
 ) -> ExperimentResult:
     """Run one full recording experiment on the chosen protocol.
@@ -163,6 +170,13 @@ def run_recording_experiment(
     ``fault_seed``) build a :class:`repro.faults.FaultPlan` storm; with
     all three at zero no fault machinery is attached at all, keeping the
     seed path bit-identical.
+
+    ``replication_factor`` places each (entity, slot) record on that many
+    replica nodes and attaches a :class:`repro.placement.PlacementState`
+    (read-one routing, write-all-available fan-out, recovery-readability
+    with ``refresh_delay`` between a node's recovery and its refresh
+    request).  At the default ``1`` no placement state is attached and
+    the run is bit-identical to a pre-replication run.
 
     ``stream=1`` selects the bounded-memory mode (lazy arrivals +
     streaming history + rolling audit; see the module docstring).
@@ -188,16 +202,23 @@ def run_recording_experiment(
         # The reservoir stream draws from seed + 3: seeds +1/+2 already
         # name the workload and arrival registries.
         history = StreamingHistory(detail=bool(detail), stats_seed=seed + 3)
+    placement = system_kwargs.pop("placement", None)
+    if placement is None and replication_factor > 1:
+        from repro.placement import PlacementState
+
+        placement = PlacementState(refresh_delay=refresh_delay)
     system = build_system(
         protocol, node_ids, seed=seed, latency=latency,
         advancement_period=advancement_period, safety_delay=safety_delay,
         allow_noncommuting=correction_rate > 0, detail=detail,
-        faults=faults, history=history, **system_kwargs,
+        faults=faults, history=history, placement=placement,
+        **system_kwargs,
     )
     workload_config = RecordingConfig(
         nodes=node_ids, entities=entities, span=span,
         amount_mode=amount_mode, abort_fraction=abort_fraction,
         with_observations=bool(with_observations), zipf=zipf,
+        replication_factor=replication_factor,
     )
     # The workload draws from its own registry so every protocol sees the
     # same transaction mix regardless of how the system consumes its RNG.

@@ -56,6 +56,12 @@ class TestSmokeSuite:
             "scaling_batch_speedup_16",
             "volume_stream_txns_per_sec",
             "volume_memory_flatness",
+            "repl_rf1_txns_per_sec",
+            "repl_rf1_msg_overhead",
+            "repl_rf2_txns_per_sec",
+            "repl_rf2_msg_overhead",
+            "repl_rf3_txns_per_sec",
+            "repl_rf3_msg_overhead",
         }
         assert set(suite["metrics"]) == expected
 
@@ -85,6 +91,25 @@ class TestSmokeSuite:
                 > suite["determinism"]["volume_txns_small"])
         assert "volume_differential_txns" in suite["determinism"]
         assert suite["metrics"]["volume_memory_flatness"] > 1 / 1.5
+
+    def test_replication_cells_present_in_digest(self, suite):
+        """The replication cells ride along: bit-stable counts per rf,
+        the same transactions at every rf (only the fan-out differs),
+        strictly growing message traffic, and the rf=1 bit-identity
+        digest pin."""
+        assert "repl_rf1_digest" in suite["determinism"]
+        for rf in (1, 2, 3):
+            for key in (f"repl_events_rf{rf}", f"repl_txns_rf{rf}",
+                        f"repl_messages_rf{rf}"):
+                assert key in suite["determinism"], key
+            assert (suite["determinism"][f"repl_txns_rf{rf}"]
+                    == suite["determinism"]["repl_txns_rf1"])
+        assert (suite["determinism"]["repl_messages_rf1"]
+                < suite["determinism"]["repl_messages_rf2"]
+                < suite["determinism"]["repl_messages_rf3"])
+        assert suite["metrics"]["repl_rf1_msg_overhead"] == 1.0
+        assert (suite["metrics"]["repl_rf2_msg_overhead"]
+                < suite["metrics"]["repl_rf3_msg_overhead"])
 
     def test_e2e_workload_is_deterministic(self, suite):
         digest = bench_hotpath.assert_deterministic("smoke")

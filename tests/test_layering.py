@@ -130,6 +130,59 @@ def test_faults_may_import_net_and_sim(tmp_path):
     assert result.returncode == 0, result.stdout + result.stderr
 
 
+def test_detects_placement_importing_runtime(tmp_path):
+    # Placement is substrate: the runtime calls down into it through
+    # duck-typed hooks, never the other way around.
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/placement/__init__.py": (
+            "from repro.runtime.system import System\n"
+        ),
+        "repro/runtime/__init__.py": "",
+        "repro/runtime/system.py": "System = object\n",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 1
+    assert "repro.placement imports" in result.stdout
+
+
+def test_detects_placement_importing_txn(tmp_path):
+    # should_skip_write receives plain (key, operation) pairs precisely
+    # so placement never needs WriteOp; an import of repro.txn means the
+    # duck-typing contract broke.
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/placement/__init__.py": "",
+        "repro/placement/state.py": "from repro.txn.spec import WriteOp\n",
+        "repro/txn/__init__.py": "",
+        "repro/txn/spec.py": "WriteOp = object\n",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 1
+    assert "repro.placement imports" in result.stdout
+
+
+def test_placement_may_import_storage_and_net(tmp_path):
+    seed_tree(str(tmp_path), {
+        "repro/__init__.py": "",
+        "repro/placement/__init__.py": (
+            "from repro.errors import SimulationError\n"
+            "from repro.net import message\n"
+            "from repro.storage import mvstore\n"
+            "from repro.sim import simulator\n"
+        ),
+        "repro/errors.py": "SimulationError = Exception\n",
+        "repro/net/__init__.py": "",
+        "repro/net/message.py": "",
+        "repro/storage/__init__.py": "",
+        "repro/storage/mvstore.py": "",
+        "repro/sim/__init__.py": "",
+        "repro/sim/simulator.py": "",
+    })
+    result = run_checker("--src", str(tmp_path))
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
 def test_compat_shim_and_aggregator_are_allowed(tmp_path):
     seed_tree(str(tmp_path), {
         "repro/__init__.py": "",

@@ -34,6 +34,15 @@ guarantees, and this script keeps them true by construction:
    streaming history *computes* latency aggregates that the analysis
    layer re-exports, and an upward edge would make that a cycle.
 
+5. **Placement is substrate.**  ``repro.placement`` (replica maps, the
+   missed-op ledger, the refresh protocol) may import only
+   ``repro.errors``, ``repro.sim``, ``repro.storage``, ``repro.net``,
+   and itself — never the runtime, a protocol plugin, or any higher
+   layer.  The runtime calls *down* into placement through duck-typed
+   hooks (``should_skip_write`` receives plain ``(key, operation)``
+   pairs, not ``WriteOp`` objects), so replication stays reusable under
+   every protocol and the unreplicated path never loads it at all.
+
 The check is AST-based (``import x`` / ``from x import y``, including
 relative imports), so string mentions in docstrings or comments are
 ignored.  Exit status 0 = clean, 1 = violations (listed one per line).
@@ -75,6 +84,15 @@ TXN_ALLOWED = (
     "repro.txn",
     "repro.errors",
     "repro.storage",
+)
+
+#: The only ``repro.*`` prefixes ``repro.placement`` may import.
+PLACEMENT_ALLOWED = (
+    "repro.placement",
+    "repro.errors",
+    "repro.sim",
+    "repro.storage",
+    "repro.net",
 )
 
 #: Layers the runtime package must never import.
@@ -171,6 +189,15 @@ def check(src_root: str) -> typing.List[str]:
                         f"{imported!r} (history is substrate: it may only "
                         f"depend on errors/storage, never the analysis "
                         f"layer that re-exports its aggregates)"
+                    )
+                if (hits(module, ("repro.placement",))
+                        and hits(imported, ("repro",))
+                        and not hits(imported, PLACEMENT_ALLOWED)):
+                    violations.append(
+                        f"{display}:{lineno}: repro.placement imports "
+                        f"{imported!r} (placement is substrate: it may "
+                        f"only depend on errors/sim/storage/net, never "
+                        f"the runtime or a protocol plugin)"
                     )
                 if group is None or module == "repro.protocols":
                     continue
