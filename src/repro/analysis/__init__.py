@@ -10,7 +10,9 @@ from repro.analysis.conflictgraph import (
 )
 from repro.analysis.metrics import (
     LatencySummary,
+    StallSummary,
     abort_rate,
+    advancement_stalls,
     closed_at_from_history,
     latency_summary,
     max_remote_wait,
@@ -45,10 +47,12 @@ __all__ = [
     "ConflictEdge",
     "LatencySummary",
     "RollingAuditor",
+    "StallSummary",
     "Table",
     "TraceStreamWriter",
     "Violation",
     "abort_rate",
+    "advancement_stalls",
     "atomic_visibility_violations",
     "audit",
     "build_serialization_graph",

@@ -8,6 +8,7 @@ apples-to-apples.
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 from repro.txn.history import History, TxnKind
@@ -22,7 +23,9 @@ from repro.txn.streamstats import LatencySummary, percentile
 
 __all__ = [
     "LatencySummary",
+    "StallSummary",
     "abort_rate",
+    "advancement_stalls",
     "closed_at_from_history",
     "latency_summary",
     "max_remote_wait",
@@ -111,6 +114,78 @@ def closed_at_from_history(history: History) -> typing.Dict[int, float]:
         if record.phase1_done is not None:
             closed[record.new_update_version - 1] = record.phase1_done
     return closed
+
+
+@dataclasses.dataclass(frozen=True)
+class StallSummary:
+    """What the advancement liveness watchdog found in one run.
+
+    A *stall* is a span longer than the budget with no read-version
+    advancement (no phase-3 completion).  Reads keep being served during
+    a stall — at the frozen read version — so the watchdog also reports
+    the worst staleness any read submitted inside a stall span suffered
+    (graceful degradation made measurable).
+    """
+
+    count: int = 0
+    total: float = 0.0
+    longest: float = 0.0
+    staleness_max: float = 0.0
+    stalled_at_end: bool = False
+
+
+def advancement_stalls(
+    history: History,
+    horizon: float,
+    budget: float,
+    closed_at: typing.Optional[typing.Dict[int, float]] = None,
+) -> StallSummary:
+    """Detect advancement liveness stalls over ``[0, horizon]``.
+
+    Advancement progress points are the phase-3 completions (the moments
+    the read version actually moved).  Any gap between consecutive
+    progress marks — including run start to first advancement, and last
+    advancement to ``horizon`` — that exceeds ``budget`` counts as one
+    stall, measured from the moment the budget lapsed to the next
+    progress mark.  Streaming histories keep no advancement records, so
+    the watchdog reports an empty summary there.
+    """
+    if history.streaming or budget <= 0 or horizon <= 0:
+        return StallSummary()
+    points = sorted(
+        record.phase3_done
+        for record in history.advancements
+        if record.phase3_done is not None and record.phase3_done <= horizon
+    )
+    marks = [0.0] + points + [horizon]
+    spans = []
+    for previous, current in zip(marks, marks[1:]):
+        if current - previous > budget:
+            spans.append((previous + budget, current))
+    if not spans:
+        return StallSummary()
+    total = sum(end - start for start, end in spans)
+    longest = max(end - start for start, end in spans)
+    stalled_at_end = spans[-1][1] == horizon
+    # Worst staleness suffered by a read submitted during a stall: the
+    # cost of serving at the frozen read version while advancement is
+    # wedged.  Uses the same closed_at convention as staleness_summary.
+    if closed_at is None:
+        closed_at = closed_at_from_history(history)
+    staleness_max = 0.0
+    for record in history.committed_txns(TxnKind.READ):
+        if record.version is None:
+            continue
+        submitted = record.submit_time
+        if not any(start <= submitted < end for start, end in spans):
+            continue
+        closed = closed_at.get(record.version)
+        if closed is not None:
+            staleness_max = max(staleness_max, submitted - closed)
+    return StallSummary(
+        count=len(spans), total=total, longest=longest,
+        staleness_max=staleness_max, stalled_at_end=stalled_at_end,
+    )
 
 
 def staleness_summary(

@@ -271,7 +271,7 @@ def _build_manual_sync(node_ids, *, seed, latency, node_config, detail,
 
 
 PROTOCOLS.register(
-    "manual", _build_manual, order=2,
+    "manual", _build_manual, order=2, detects_termination=False,
     description="periodic version switches with a fixed safety delay "
                 "(no termination detection)",
 )

@@ -270,6 +270,7 @@ def cmd_chaos(args) -> int:
         return 2
     protocols = args.protocols or list(PROTOCOLS)
     replicated = args.replication_factor > 1
+    control_plane = args.partition_count > 0 or args.coordinator_crashes > 0
     title = (
         f"Chaos: {args.duration:g}s on {args.nodes} nodes, "
         f"drop={args.drop_rate:g} dup={args.dup_rate:g} "
@@ -278,7 +279,12 @@ def cmd_chaos(args) -> int:
     if replicated:
         title += (f", rf={args.replication_factor} "
                   f"refresh={args.refresh_delay:g}s")
+    if control_plane:
+        title += (f", partitions={args.partition_count} "
+                  f"coord-crashes={args.coordinator_crashes}")
     columns = ["system", "dropped", "dup'd", "retx", "dedup", "crash/rec"]
+    if control_plane:
+        columns += ["cut", "coord c/r", "fenced", "stalls"]
     if replicated:
         # "records" replaces "entities": the agreement unit is the
         # (entity, slot) record compared across its replica set.
@@ -295,6 +301,9 @@ def cmd_chaos(args) -> int:
             crash_count=args.crash_count, fault_seed=args.fault_seed,
             seed=args.seed, replication_factor=args.replication_factor,
             refresh_delay=args.refresh_delay,
+            partition_count=args.partition_count,
+            coordinator_crashes=args.coordinator_crashes,
+            stall_budget=args.stall_budget,
         )
         report = run_chaos_spec(spec, verify_repeat=not args.no_repeat,
                                 drain_limit=args.drain_limit)
@@ -310,6 +319,16 @@ def cmd_chaos(args) -> int:
             s.retransmits if s else "-",
             s.dup_suppressed if s else "-",
             f"{s.crashes}/{s.recoveries}" if s else "-",
+        ]
+        if control_plane:
+            cells += [
+                s.partitions_cut if s else "-",
+                (f"{s.coordinator_crashes}/{s.coordinator_recoveries}"
+                 if s else "-"),
+                s.stale_epochs_fenced if s else "-",
+                s.stall_count if s else "-",
+            ]
+        cells += [
             report.entities_checked,
             report.entities_checked - report.disagreements,
         ]
@@ -466,6 +485,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--refresh-delay", type=float, default=2.0,
         help="delay between a replica's recovery and its refresh request "
              "(default 2.0; it serves no reads until refresh completes)")
+    chaos_parser.add_argument(
+        "--partition-count", type=int, default=0,
+        help="timed network partitions (with heals) per storm "
+             "(default: %(default)s)")
+    chaos_parser.add_argument(
+        "--coordinator-crashes", type=int, default=0,
+        help="mid-wave advancement-coordinator crashes to inject on "
+             "protocols that have a coordinator (default: %(default)s)")
+    chaos_parser.add_argument(
+        "--stall-budget", type=float, default=0.0,
+        help="advancement liveness budget in sim seconds; 0 = twice the "
+             "advancement period (default: %(default)s)")
     chaos_parser.add_argument("--fault-seed", type=int, default=7,
                               help="fault schedule seed (default 7)")
     chaos_parser.add_argument("--seed", type=int, default=0,

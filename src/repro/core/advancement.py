@@ -54,6 +54,7 @@ from repro.net.network import Network
 from repro.sim.events import Event
 from repro.sim.simulator import Simulator
 from repro.storage.counters import aggregate_quiescent, quiescent
+from repro.storage.wal import JournaledCoordinatorState
 from repro.txn.history import AdvancementRecord, History
 
 COORDINATOR_ID = "coordinator"
@@ -199,9 +200,25 @@ class AdvancementCoordinator:
         history: Where advancement phase timestamps are recorded.
         poll_interval: Delay between quiescence polls in phases 2 and 4.
         detector: Name of the quiescence detector (see :data:`DETECTORS`).
+        lease_interval: When > 0, the coordinator broadcasts lease
+            heartbeats (half this interval apart) so node-side standby
+            monitors can take the role over deterministically when the
+            lease lapses; 0 (the default) sends no heartbeat traffic at
+            all, keeping default runs event-for-event identical.
 
-    A distributed mutual exclusion mechanism is assumed by the paper; here
-    a simple "one advancement at a time" guard plays that role.
+    The paper assumes a distributed mutual exclusion mechanism around
+    advancement.  The implemented scheme: a single *incarnation* of the
+    coordinator role holds the lease at any time, every message it sends
+    carries its monotone **advancement epoch**, and both the nodes and the
+    coordinator fence anything stamped with an older epoch — so a dead
+    incarnation's stragglers can never drive (or confuse) an advancement
+    after a restart or a standby takeover.  The role's control record
+    (vr, vu, epoch, in-flight wave) is write-ahead journaled via
+    :class:`repro.storage.wal.JournaledCoordinatorState`; a successor
+    replays it and re-runs the in-flight wave from the top, which is safe
+    because every phase is idempotent: version bumps no-op at or below a
+    node's current version and the RT/CT quiescence aggregates are
+    monotone, so re-gathering never double-counts.
     """
 
     def __init__(
@@ -212,6 +229,7 @@ class AdvancementCoordinator:
         history: History,
         poll_interval: float = 1.0,
         detector: str = TwoWaveDetector.name,
+        lease_interval: float = 0.0,
     ):
         self.sim = sim
         self.network = network
@@ -222,14 +240,39 @@ class AdvancementCoordinator:
             self.detector: QuiescenceDetector = DETECTORS[detector](self)
         except KeyError:
             raise ProtocolError(f"unknown quiescence detector: {detector!r}")
+        if lease_interval < 0:
+            raise ProtocolError(
+                f"lease_interval must be >= 0: {lease_interval}"
+            )
         self.vr = 0
         self.vu = 1
         self.running = False
         self.completed_runs = 0
+        #: Monotone incarnation counter stamped on every message; bumped
+        #: by each recovery/takeover so stale traffic is fenceable.
+        self.epoch = 1
+        self.down = False
+        self.crashes = 0
+        self.recoveries = 0
+        self.takeovers = 0
+        self.lease_interval = lease_interval
+        #: Node currently hosting the role after a takeover (``None``
+        #: while the original dedicated endpoint holds it).
+        self.host: typing.Optional[str] = None
+        self.endpoint = COORDINATOR_ID
+        #: Durable control record (vr/vu/epoch/in-flight wave) — what a
+        #: successor incarnation replays to resume mid-protocol.
+        self._durable = JournaledCoordinatorState()
         self._mailbox = network.register(COORDINATOR_ID)
         #: Drain batched mailbox wakes synchronously (one resume per
         #: batch of same-tick replies instead of one per reply).
         self._drain = network.batch_delivery
+        self._process = None
+        self._heartbeat_process = None
+        if lease_interval > 0:
+            self._heartbeat_process = sim.process(
+                self._heartbeat(), name="coordinator-heartbeat"
+            )
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -240,63 +283,189 @@ class AdvancementCoordinator:
 
         Raises:
             AdvancementInProgress: If an advancement is already running
-                (the paper assumes distributed mutual exclusion here).
+                (the one-wave-at-a-time rule of the mutual exclusion
+                scheme; a recovered incarnation resuming its in-flight
+                wave counts).
+            ProtocolError: If the coordinator is currently down.
         """
+        if self.down:
+            raise ProtocolError(
+                "the advancement coordinator is down (crashed and not yet "
+                "recovered or failed over)"
+            )
         if self.running:
             raise AdvancementInProgress(
                 f"advancement to version {self.vu + 1} already running"
             )
         self.running = True
-        return self.sim.process(self._advance(), name="advancement")
+        self._durable.begin_wave(self.vu + 1)
+        self._process = self.sim.process(
+            self._advance(self.vu + 1), name="advancement"
+        )
+        return self._process
+
+    # ------------------------------------------------------------------
+    # Crash / recovery / failover (the coordinator as a fault target)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop this incarnation of the coordinator role.
+
+        The in-flight advancement process (if any) is killed, its
+        stranded mailbox getter is abandoned (a dead getter would swallow
+        the next reply), and the mailbox freezes so stragglers queue
+        durably.  The journaled control record survives for the next
+        incarnation — :meth:`recover` in place, or :meth:`failover` to a
+        standby.
+        """
+        if self.down:
+            raise ProtocolError("the coordinator is already down")
+        self.down = True
+        self.crashes += 1
+        self._halt_incarnation()
+        self._mailbox.freeze()
+
+    def recover(self) -> None:
+        """Restart the role in place as a new incarnation.
+
+        Replays the durable control record, bumps the epoch (fencing every
+        message the dead incarnation left in flight), thaws the mailbox,
+        and — if a wave was in flight — re-runs it from the top.  A no-op
+        when a standby already took the role over (the scheduled recovery
+        of a superseded incarnation must not resurrect it).
+        """
+        if not self.down:
+            return
+        self.down = False
+        self.recoveries += 1
+        self._mailbox.thaw()
+        self._resume_from_journal()
+
+    def failover(self, node_id: str) -> None:
+        """Deterministic takeover: ``node_id``'s standby assumes the role.
+
+        The lease model is fail-stop: an incarnation that lost its lease
+        stops acting, so any still-live process of the old incarnation is
+        halted and its endpoint frozen (stale replies addressed to it pile
+        up unread; anything re-routed to the new endpoint is fenced by
+        epoch).  The new incarnation registers ``coordinator@<node_id>``,
+        replays the shared journal, and resumes exactly like an in-place
+        recovery.
+        """
+        self._halt_incarnation()
+        if not self._mailbox.frozen:
+            self._mailbox.freeze()
+        self.down = False
+        self.takeovers += 1
+        self.host = node_id
+        self.endpoint = f"{COORDINATOR_ID}@{node_id}"
+        self._mailbox = self.network.register(self.endpoint)
+        self._mailbox.thaw()
+        self._resume_from_journal()
+
+    def stop_heartbeats(self) -> None:
+        """Kill the lease heartbeat process (lets the system drain)."""
+        if (self._heartbeat_process is not None
+                and self._heartbeat_process.is_alive):
+            self._heartbeat_process.kill()
+        self._heartbeat_process = None
+
+    def _halt_incarnation(self) -> None:
+        """Stop every live process of the current incarnation."""
+        if self._process is not None and self._process.is_alive:
+            self._process.kill()
+        self._process = None
+        self.stop_heartbeats()
+        self._mailbox.abandon_getters()
+        self.running = False
+
+    def _resume_from_journal(self) -> None:
+        """Rebuild control state from the journal and restart the wave."""
+        self._durable.replay()
+        state = self._durable.raw
+        self.vr = state.vr
+        self.vu = state.vu
+        self.epoch = state.epoch + 1
+        self._durable.set_epoch(self.epoch)
+        if self.lease_interval > 0:
+            self._heartbeat_process = self.sim.process(
+                self._heartbeat(), name="coordinator-heartbeat"
+            )
+        if state.in_flight is not None:
+            # Re-run the interrupted wave from the top; completed phases
+            # degenerate to no-ops (see the class docstring).
+            self.running = True
+            self._process = self.sim.process(
+                self._advance(state.in_flight), name="advancement"
+            )
+
+    def _heartbeat(self):
+        """Broadcast the lease heartbeat (failover mode only)."""
+        while True:
+            self.network.broadcast_to(
+                self.endpoint, self.node_ids,
+                MessageKind.COORDINATOR_HEARTBEAT, (self.epoch,),
+            )
+            yield self.sim.timeout(self.lease_interval / 2.0)
 
     # ------------------------------------------------------------------
     # The four phases
     # ------------------------------------------------------------------
 
-    def _advance(self):
-        vu_old, vr_old = self.vu, self.vr
-        vu_new, vr_new = vu_old + 1, vr_old + 1
+    def _advance(self, vu_new: int):
+        epoch = self.epoch
+        vu_old, vr_new, vr_old = vu_new - 1, vu_new - 1, vu_new - 2
         record = AdvancementRecord(
             new_update_version=vu_new, started=self.sim.now
         )
         self.history.advancements.append(record)
         try:
-            # Phase 1: switch every node to the new update version.
-            self.network.broadcast_to(
-                COORDINATOR_ID, self.node_ids,
-                MessageKind.START_ADVANCEMENT, vu_new,
-            )
-            yield from self._collect_acks(
-                MessageKind.START_ADVANCEMENT_ACK, vu_new
-            )
-            self.vu = vu_new
-            record.phase1_done = self.sim.now
+            # Phase 1: switch every node to the new update version.  A
+            # resumed wave whose predecessor already committed the vu bump
+            # skips straight to quiescence (phase1_done stays unset on the
+            # resume record, so staleness keeps the true close time).
+            if self.vu < vu_new:
+                self._broadcast(MessageKind.START_ADVANCEMENT, vu_new)
+                yield from self._collect_acks(
+                    MessageKind.START_ADVANCEMENT_ACK, vu_new
+                )
+                self.vu = vu_new
+                self._durable.set_vu(vu_new)
+                record.phase1_done = self.sim.now
 
-            # Phase 2: wait for vu_old to quiesce.
+            # Phase 2: wait for vu_old to quiesce (always re-checked on a
+            # resume — the aggregates are monotone, so this only waits).
             yield from self._await_quiescence(vu_old, record)
             record.phase2_done = self.sim.now
 
             # Phase 3: make vu_old (= vr_new) readable.
-            self.network.broadcast_to(
-                COORDINATOR_ID, self.node_ids, MessageKind.READ_ADVANCE, vr_new
-            )
-            yield from self._collect_acks(MessageKind.READ_ADVANCE_ACK, vr_new)
-            self.vr = vr_new
-            record.phase3_done = self.sim.now
+            if self.vr < vr_new:
+                self._broadcast(MessageKind.READ_ADVANCE, vr_new)
+                yield from self._collect_acks(
+                    MessageKind.READ_ADVANCE_ACK, vr_new
+                )
+                self.vr = vr_new
+                self._durable.set_vr(vr_new)
+                record.phase3_done = self.sim.now
 
-            # Phase 4: wait for vr_old queries to drain, then collect.
+            # Phase 4: wait for vr_old queries to drain, then collect
+            # (node-side GC is idempotent, so a resume redoes it safely).
             yield from self._await_quiescence(vr_old, record)
-            self.network.broadcast_to(
-                COORDINATOR_ID, self.node_ids,
-                MessageKind.GARBAGE_COLLECT, vr_new,
-            )
+            self._broadcast(MessageKind.GARBAGE_COLLECT, vr_new)
             yield from self._collect_acks(
                 MessageKind.GARBAGE_COLLECT_ACK, vr_new
             )
             record.gc_done = self.sim.now
+            self._durable.end_wave()
             self.completed_runs += 1
         finally:
-            self.running = False
+            # Kills are delivered one sim step late, so a crashed
+            # incarnation's teardown can run after its successor already
+            # restarted the wave — the epoch guard keeps it from
+            # clobbering the live incarnation's state.
+            if self.epoch == epoch:
+                self.running = False
+                self._process = None
 
     def _await_quiescence(self, version: int, record: AdvancementRecord):
         while True:
@@ -309,6 +478,25 @@ class AdvancementCoordinator:
     # ------------------------------------------------------------------
     # Messaging helpers
     # ------------------------------------------------------------------
+
+    def _broadcast(self, kind: str, version: int) -> None:
+        """Broadcast a phase request stamped with the current epoch."""
+        self.network.broadcast_to(
+            self.endpoint, self.node_ids, kind, (self.epoch, version)
+        )
+
+    def _stale(self, message) -> bool:
+        """Fence a reply stamped by a dead incarnation.
+
+        Replies carry the epoch of the request they answer as their last
+        payload element; anything not matching the live epoch is counted
+        and dropped (a resumed wave re-requests everything it needs, so
+        dropping is always safe).
+        """
+        if message.payload[-1] != self.epoch:
+            self.network.stats.stale_epoch_dropped += 1
+            return True
+        return False
 
     def _receive(self):
         """Take the coordinator's next message (batch-drain aware).
@@ -326,15 +514,17 @@ class AdvancementCoordinator:
         return message
 
     def _collect_acks(self, kind: str, version: int):
-        """Wait until every node acked ``(node_id, version)`` with ``kind``."""
+        """Wait until every node acked ``(node_id, version, epoch)``."""
         pending = set(self.node_ids)
         while pending:
             message = yield from self._receive()
+            if self._stale(message):
+                continue
             if message.kind != kind:
                 raise ProtocolError(
                     f"coordinator expected {kind!r}, got {message.kind!r}"
                 )
-            node_id, acked_version = message.payload
+            node_id, acked_version, _epoch = message.payload
             if acked_version != version:
                 raise ProtocolError(
                     f"stale ack for version {acked_version} during "
@@ -352,17 +542,21 @@ class AdvancementCoordinator:
         """
         for node_id in self.node_ids:
             self.network.send(
-                COORDINATOR_ID, node_id, MessageKind.COUNTER_READ,
-                (version, which),
+                self.endpoint, node_id, MessageKind.COUNTER_READ,
+                (self.epoch, version, which),
             )
         snapshots: typing.Dict[str, typing.Any] = {}
         while len(snapshots) < len(self.node_ids):
             message = yield from self._receive()
+            if self._stale(message):
+                continue
             if message.kind != MessageKind.COUNTER_READ_REPLY:
                 raise ProtocolError(
                     f"coordinator expected counter reply, got {message.kind!r}"
                 )
-            node_id, reply_version, reply_which, snapshot = message.payload
+            node_id, reply_version, reply_which, snapshot, _epoch = (
+                message.payload
+            )
             if reply_version != version or reply_which != which:
                 raise ProtocolError(
                     f"stale counter reply ({reply_version}, {reply_which!r}) "

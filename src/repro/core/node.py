@@ -93,6 +93,13 @@ class ThreeVPlugin(ProtocolPlugin):
         node.counters.ensure_version(node.vu)
         #: Versions for which a start-advancement was already processed.
         node._advanced_to = {node.vu}
+        #: Highest coordinator epoch witnessed — requests stamped with an
+        #: older epoch come from a dead incarnation and are fenced.
+        node.coord_epoch = 0
+        #: Simulation time of the last coordinator sign of life (any
+        #: epoch-stamped request or heartbeat); standby monitors compare
+        #: this against the lease to decide on a takeover.
+        node._coord_seen = 0.0
         # Hook the NC3V extension (only in mixed deployments).
         if self.allow_noncommuting:
             from repro.core.nc3v import NC3VManager
@@ -110,6 +117,10 @@ class ThreeVPlugin(ProtocolPlugin):
         # gated roots re-evaluate against the recovered state.
         for version in range(node.vr, node.vu + 1):
             node.counters.ensure_version(version)
+        # Restart the lease clock: the backlog this node is about to drain
+        # may be arbitrarily old, and a recovering node must not instantly
+        # declare the coordinator dead on stale evidence.
+        node._coord_seen = node.sim.now
         if node.nc3v is not None:
             node.nc3v.on_recover()
             node.nc3v.on_read_advance()
@@ -334,6 +345,8 @@ class ThreeVPlugin(ProtocolPlugin):
             self._on_read_advance(node, message)
         elif kind == MessageKind.GARBAGE_COLLECT:
             self._on_garbage_collect(node, message)
+        elif kind == MessageKind.COORDINATOR_HEARTBEAT:
+            self._fence_stale_epoch(node, message.payload[0])
         elif kind == MessageKind.LOCK_RELEASE:
             node.locks.release_all(message.payload)
         elif node.nc3v is not None and node.nc3v.handles(kind):
@@ -341,16 +354,37 @@ class ThreeVPlugin(ProtocolPlugin):
         else:
             super().handle_message(node, message)
 
+    def _fence_stale_epoch(self, node, epoch: int) -> bool:
+        """Fence a coordinator request from a dead incarnation.
+
+        Returns ``True`` (and counts the drop) when the request's epoch
+        is older than the highest this node has witnessed; otherwise
+        records the epoch and the coordinator's sign of life and lets the
+        request through.  Dropping without a reply is safe because a live
+        successor re-runs its wave from the top and re-requests anything
+        it still needs.
+        """
+        if epoch < node.coord_epoch:
+            node.network.stats.stale_epoch_dropped += 1
+            return True
+        node.coord_epoch = epoch
+        node._coord_seen = node.sim.now
+        return False
+
     def _on_start_advancement(self, node, message: Message) -> None:
-        new_version = message.payload
+        epoch, new_version = message.payload
+        if self._fence_stale_epoch(node, epoch):
+            return
         self.advance_update_version(node, new_version)
         node.network.send(
             node.node_id, message.src, MessageKind.START_ADVANCEMENT_ACK,
-            (node.node_id, new_version),
+            (node.node_id, new_version, epoch),
         )
 
     def _on_counter_read(self, node, message: Message) -> None:
-        version, which = message.payload
+        epoch, version, which = message.payload
+        if self._fence_stale_epoch(node, epoch):
+            return
         # Snapshot assembly: the zero-copy views locate the live row, and
         # dict() materializes the point-in-time copy HERE, at the node's
         # read time.  The reply payload must never alias the live row — the
@@ -394,11 +428,13 @@ class ThreeVPlugin(ProtocolPlugin):
             raise ProtocolError(f"bad counter read request: {which!r}")
         node.network.send(
             node.node_id, message.src, MessageKind.COUNTER_READ_REPLY,
-            (node.node_id, version, which, snapshot),
+            (node.node_id, version, which, snapshot, epoch),
         )
 
     def _on_read_advance(self, node, message: Message) -> None:
-        new_version = message.payload
+        epoch, new_version = message.payload
+        if self._fence_stale_epoch(node, epoch):
+            return
         if new_version > node.vr:
             node.vr = new_version
             node.counters.ensure_version(new_version)
@@ -406,14 +442,16 @@ class ThreeVPlugin(ProtocolPlugin):
                 node.nc3v.on_read_advance()
         node.network.send(
             node.node_id, message.src, MessageKind.READ_ADVANCE_ACK,
-            (node.node_id, new_version),
+            (node.node_id, new_version, epoch),
         )
 
     def _on_garbage_collect(self, node, message: Message) -> None:
-        new_read_version = message.payload
+        epoch, new_read_version = message.payload
+        if self._fence_stale_epoch(node, epoch):
+            return
         node.store.collect(new_read_version)
         node.counters.gc_below(new_read_version)
         node.network.send(
             node.node_id, message.src, MessageKind.GARBAGE_COLLECT_ACK,
-            (node.node_id, new_read_version),
+            (node.node_id, new_read_version, epoch),
         )

@@ -11,11 +11,43 @@ from __future__ import annotations
 
 import typing
 
+from repro.errors import AdvancementInProgress, ProcessKilled, ProtocolError
 from repro.sim.simulator import Simulator
 from repro.txn.history import History, TxnKind
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.advancement import AdvancementCoordinator
+
+
+def _advance_once(sim, coordinator):
+    """Trigger one advancement, robust to coordinator faults.
+
+    Plain ``yield coordinator.advance()`` wedges a policy under fault
+    injection two ways: if the coordinator is down (or a recovered
+    incarnation is still finishing its resumed wave) the synchronous
+    ``advance()`` call raises and kills the whole driver process — no
+    later trigger ever fires again; and if the wave process is killed by a
+    coordinator crash mid-flight, the raise propagates out of the
+    ``yield``.  Policies skip the beat in both cases and try again at
+    their next trigger.  Only those two conditions are absorbed: any other
+    exception out of the wave is a real protocol bug and re-raises.
+    """
+    try:
+        wave = coordinator.advance()
+    except (AdvancementInProgress, ProtocolError):
+        return
+    try:
+        yield wave
+    except ProcessKilled as exc:
+        # ProcessKilled reaches this yield two ways: the *wave* process
+        # was killed (the wave event fails with that exact instance —
+        # absorb and retry at the next trigger), or the *policy driver
+        # itself* is being killed (e.g. ``stop_policy`` throws a fresh
+        # instance in) — that one must propagate or the driver would
+        # survive its own kill and keep advancing forever.
+        if exc is wave.exception:
+            return
+        raise
 
 
 class AdvancementPolicy:
@@ -59,7 +91,7 @@ class PeriodicPolicy(AdvancementPolicy):
         def driver():
             yield sim.timeout(self.start_after)
             while True:
-                yield coordinator.advance()
+                yield from _advance_once(sim, coordinator)
                 yield sim.timeout(self.interval)
 
         return sim.process(driver(), name="periodic-advancement")
@@ -84,7 +116,7 @@ class CountPolicy(AdvancementPolicy):
                 yield sim.timeout(self.check_interval)
                 committed = history.count(TxnKind.UPDATE)
                 if committed - committed_at_last >= self.threshold:
-                    yield coordinator.advance()
+                    yield from _advance_once(sim, coordinator)
                     committed_at_last = committed
 
         return sim.process(driver(), name="count-advancement")
@@ -134,7 +166,7 @@ class DivergencePolicy(AdvancementPolicy):
             while True:
                 yield sim.timeout(self.check_interval)
                 if self.divergence() > self.threshold:
-                    yield coordinator.advance()
+                    yield from _advance_once(sim, coordinator)
 
         return sim.process(driver(), name="divergence-advancement")
 
@@ -167,7 +199,7 @@ class TransactionTriggerPolicy(AdvancementPolicy):
                     and not history.txns[name].aborted
                 }
                 for _name in sorted(fired):
-                    yield coordinator.advance()
+                    yield from _advance_once(sim, coordinator)
                 pending -= fired
 
         return sim.process(driver(), name="txn-trigger-advancement")

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.core.advancement import AdvancementCoordinator
+from repro.core.advancement import COORDINATOR_ID, AdvancementCoordinator
 from repro.core.node import NodeConfig, ThreeVPlugin
 from repro.core.policy import AdvancementPolicy
 from repro.errors import ProtocolError
@@ -59,7 +59,16 @@ class ThreeVSystem(System):
             very large benchmark runs).
         fifo_links: Enforce per-link FIFO message delivery.
         policy: Optional automatic advancement trigger.
+        lease_interval: When > 0, the coordinator heartbeats its lease and
+            every node runs a standby monitor; if the lease lapses, the
+            lowest-id live node deterministically takes the role over
+            (epoch fencing keeps a late-recovering incarnation harmless).
+            0 (the default) adds no processes and no messages.
     """
+
+    #: The advancement coordinator is a crashable fault target alongside
+    #: the database nodes (``CrashEvent(node="coordinator")``).
+    extra_crash_targets = (COORDINATOR_ID,)
 
     def __init__(
         self,
@@ -77,6 +86,7 @@ class ThreeVSystem(System):
         faults=None,
         history=None,
         placement=None,
+        lease_interval: float = 0.0,
     ):
         super().__init__(
             node_ids, seed=seed, latency=latency, node_config=node_config,
@@ -88,9 +98,19 @@ class ThreeVSystem(System):
         self.coordinator = AdvancementCoordinator(
             self.sim, self.network, list(node_ids), self.history,
             poll_interval=poll_interval, detector=detector,
+            lease_interval=lease_interval,
         )
         self.policy = policy
         self._policy_process = None
+        self._monitor_processes: typing.List = []
+        if lease_interval > 0:
+            # Standby monitors: one per node, staggered patience by rank so
+            # the lowest-id live node always wins the takeover race.
+            for rank, node_id in enumerate(sorted(node_ids)):
+                self._monitor_processes.append(self.sim.process(
+                    self._standby_monitor(node_id, rank),
+                    name=f"coordinator-standby-{node_id}",
+                ))
         if policy is not None:
             policy.bind(self)
             self._policy_process = policy.start(
@@ -130,10 +150,69 @@ class ThreeVSystem(System):
         return self.coordinator.vu
 
     def stop_policy(self) -> None:
-        """Kill the automatic advancement policy (to let the system drain)."""
+        """Kill every automatic driver (policy, heartbeats, standby
+        monitors) so the system can drain."""
         if self._policy_process is not None:
             self._policy_process.kill()
             self._policy_process = None
+        for process in self._monitor_processes:
+            if process.is_alive:
+                process.kill()
+        self._monitor_processes = []
+        self.coordinator.stop_heartbeats()
+
+    # ------------------------------------------------------------------
+    # Coordinator fault surface
+    # ------------------------------------------------------------------
+
+    def crash_coordinator(self) -> None:
+        """Fail-stop the advancement coordinator (see
+        :meth:`AdvancementCoordinator.crash`)."""
+        self.coordinator.crash()
+
+    def recover_coordinator(self) -> None:
+        """Restart the coordinator in place as a new incarnation."""
+        self.coordinator.recover()
+
+    def crash(self, node_id: str) -> None:
+        # A takeover moves the coordinator role onto a database node, so
+        # crashing that node fail-stops the hosted incarnation too.
+        super().crash(node_id)
+        coordinator = getattr(self, "coordinator", None)
+        if (coordinator is not None and coordinator.host == node_id
+                and not coordinator.down):
+            coordinator.crash()
+
+    def _scheduled_extra_crash(self, event) -> None:
+        """Run a planned coordinator crash/recover cycle."""
+        if self.coordinator.down:
+            return
+        self.coordinator.crash()
+        self.sim.schedule(event.down_for, self.coordinator.recover)
+
+    def _standby_monitor(self, node_id: str, rank: int):
+        """Per-node lease watcher (runs only with ``lease_interval > 0``).
+
+        Patience is ``2 * lease + rank * lease`` with the rank taken in
+        sorted node-id order, so the lowest-id live node's monitor always
+        fires first — a deterministic election with no extra messages.
+        """
+        lease = self.coordinator.lease_interval
+        patience = 2.0 * lease + rank * lease
+        node = self.nodes[node_id]
+        while True:
+            yield self.sim.timeout(lease / 2.0)
+            if node_id in self.down_nodes:
+                continue
+            coordinator = self.coordinator
+            if coordinator.host == node_id and not coordinator.down:
+                # This node hosts the live incarnation; its own silence is
+                # not evidence of coordinator death.
+                node._coord_seen = self.sim.now
+                continue
+            if self.sim.now - node._coord_seen > patience:
+                coordinator.failover(node_id)
+                node._coord_seen = self.sim.now
 
 
 def _build_3v(node_ids, *, seed, latency, node_config, detail,
@@ -154,6 +233,7 @@ def _build_3v(node_ids, *, seed, latency, node_config, detail,
 
 PROTOCOLS.register(
     "3v", _build_3v, order=0, strict_audit=True,
+    coordinator=COORDINATOR_ID,
     description="the paper's 3V multiversioning protocol (NC3V when "
                 "corrections are present)",
 )

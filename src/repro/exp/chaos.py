@@ -14,6 +14,11 @@ messages and crash/recovers nodes, then audits the wreckage:
   record across its replica set, and two extra properties apply:
   recovered replicas must serve zero reads before their refresh
   completes, and every recovery must end in a completed refresh.
+  Exception: a protocol registered without termination detection (the
+  ``manual`` baseline) is *expected* to lose straggler writes once a
+  partition delays them past its fixed safety delay — the paper's
+  partial-"bill generation" failure mode — so under partition plans its
+  disagreements are reported as findings, not failures.
 * **Oracle check** — in ``"bitmask"`` mode each replica's final value
   must decompose to exactly the set of committed recording transactions
   (:meth:`RecordingWorkload.committed_mask`): nothing lost, nothing
@@ -23,6 +28,11 @@ messages and crash/recovers nodes, then audits the wreckage:
 * **Repeatability** — an optional second run with the same workload and
   fault seeds must produce a bit-identical determinism digest: the storm
   is part of the simulation, not noise on top of it.
+* **Liveness** — when the spec injects control-plane disruptions
+  (coordinator crashes and/or partitions), a post-drain probe demands
+  that the read version can still advance *after* the last disruption
+  healed and that read staleness re-converged: graceful degradation must
+  actually end.
 
 Everything reduces to a flat :class:`ChaosReport` per protocol; a run
 that violates any property lists human-readable ``failures`` rather than
@@ -89,6 +99,9 @@ def chaos_spec(
     audit_rate: float = 0.2,
     replication_factor: int = 1,
     refresh_delay: float = 2.0,
+    partition_count: int = 0,
+    coordinator_crashes: int = 0,
+    stall_budget: float = 0.0,
 ) -> ExperimentSpec:
     """The canonical chaos experiment: a storm on the bitmask workload."""
     return ExperimentSpec(
@@ -98,6 +111,8 @@ def chaos_spec(
         seed=seed, drop_rate=drop_rate, dup_rate=dup_rate,
         crash_count=crash_count, fault_seed=fault_seed,
         replication_factor=replication_factor, refresh_delay=refresh_delay,
+        partition_count=partition_count,
+        coordinator_crashes=coordinator_crashes, stall_budget=stall_budget,
     )
 
 
@@ -178,6 +193,120 @@ def _check_stores(result) -> typing.Tuple[int, int, int, typing.List[str]]:
     return checked, disagreements, mismatches, failures
 
 
+def _expects_convergence(spec: ExperimentSpec, entry) -> bool:
+    """Whether store agreement / the oracle are *failures* for this run.
+
+    Always, except for a protocol registered without termination
+    detection under a partition plan: holding traffic back longer than
+    its fixed safety delay makes the paper's lost-straggler failure mode
+    (Section 1's partial "bill generation") the expected outcome, not a
+    harness defect.  The disagreement counts still land in the report.
+    """
+    if entry is None or entry.detects_termination:
+        return True
+    return spec.partition_count == 0
+
+
+def _last_disruption_end(spec: ExperimentSpec, system) -> float:
+    """When the last control-plane disruption healed (sim time).
+
+    Covers partition heals and every planned crash's recovery; liveness
+    is only demanded *after* this point — during the disruptions the
+    system is allowed (expected, even) to degrade gracefully.
+    """
+    plan = getattr(system, "faults", None)
+    if plan is None:
+        return 0.0
+    end = 0.0
+    for partition in plan.partitions:
+        end = max(end, partition.heal_at)
+    for crash in plan.crashes:
+        end = max(end, crash.at + crash.down_for)
+    return end
+
+
+def _probe_liveness(
+    spec: ExperimentSpec, result, drain_limit: float
+) -> typing.List[str]:
+    """Post-drain liveness probe: advancement must work again.
+
+    Only runs when the spec injected control-plane disruptions
+    (coordinator crashes / partitions) on a protocol that has an
+    advancement coordinator.  The probe drives one more advancement wave
+    through the drained system and demands it completes — a wedged
+    coordinator (stuck ``running`` flag, leaked epoch, mailbox stranded
+    by a crash) fails here even if the workload-time metrics look fine.
+    Because the probe adds simulation events, it runs in *both* the main
+    and the repeat run before their summaries, keeping the determinism
+    digests comparable.
+
+    Also scores recovery of the run itself: after the last disruption
+    healed, the read version must have advanced again, and reads
+    submitted after that advancement must have re-converged to
+    budget-bounded staleness.
+    """
+    entry = PROTOCOLS.get(spec.protocol)
+    if entry is None or entry.coordinator is None:
+        return []
+    if not (spec.coordinator_crashes or spec.partition_count):
+        return []
+    failures: typing.List[str] = []
+    system = result.system
+    coordinator = system.coordinator
+    history = result.history
+
+    heal_time = _last_disruption_end(spec, system)
+    post_heal = sorted(
+        record.phase3_done
+        for record in history.advancements
+        if record.phase3_done is not None and record.phase3_done > heal_time
+    )
+    if not post_heal:
+        failures.append(
+            f"read version never advanced after the last disruption "
+            f"healed at t={heal_time:g}"
+        )
+    else:
+        # Staleness re-convergence: reads submitted after the first
+        # post-heal advancement see a recently-closed version again.
+        from repro.analysis import closed_at_from_history
+        from repro.txn.history import TxnKind
+
+        budget = spec.stall_budget or 2.0 * spec.advancement_period
+        closed_at = closed_at_from_history(history)
+        worst = 0.0
+        for record in history.committed_txns(TxnKind.READ):
+            if record.version is None or record.submit_time <= post_heal[0]:
+                continue
+            closed = closed_at.get(record.version)
+            if closed is not None:
+                worst = max(worst, record.submit_time - closed)
+        if worst > budget:
+            failures.append(
+                f"staleness did not re-converge after heal: worst "
+                f"post-recovery read staleness {worst:g} > budget "
+                f"{budget:g}"
+            )
+
+    # The live probe: one more full wave through the drained system.
+    vr_before = coordinator.vr
+    try:
+        system.advance_versions()
+        system.run_until_quiet(limit=drain_limit)
+    except Exception as exc:
+        failures.append(
+            f"post-drain advancement probe failed: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        return failures
+    if coordinator.vr <= vr_before:
+        failures.append(
+            f"post-drain advancement probe did not advance vr "
+            f"(still {coordinator.vr})"
+        )
+    return failures
+
+
 def run_chaos_spec(
     spec: ExperimentSpec,
     *,
@@ -201,6 +330,10 @@ def run_chaos_spec(
     check_snapshots = (
         spec.protocol == "3v" and spec.amount_mode == "bitmask" and spec.detail
     )
+    # The liveness probe mutates the simulation (one extra wave), so it
+    # must run before summarize — and identically in the repeat run — to
+    # keep sim_events comparable between the two digests.
+    failures.extend(_probe_liveness(spec, result, drain_limit))
     report = audit(result.history, result.workload,
                    check_snapshots=check_snapshots)
     summary = summarize(spec, result, report)
@@ -214,6 +347,14 @@ def run_chaos_spec(
         )
 
     checked, disagreements, mismatches, store_failures = _check_stores(result)
+    if store_failures and not _expects_convergence(spec, entry):
+        # The paper's manual-versioning failure mode, reproduced on cue:
+        # without termination detection, a straggler held back past the
+        # fixed safety delay (here, by a partition) updates only its own
+        # version's copy, so the latest version loses its write.  The
+        # counts stay in the report as the documented finding; they are
+        # not a harness failure.
+        store_failures = []
     failures.extend(store_failures)
 
     if spec.crash_count > 0 and summary.recoveries < summary.crashes:
@@ -245,6 +386,7 @@ def run_chaos_spec(
         rerun = run_recording_experiment(
             spec.protocol, drain_limit=drain_limit, **spec.run_kwargs()
         )
+        _probe_liveness(spec, rerun, drain_limit)
         rerun_report = audit(rerun.history, rerun.workload,
                              check_snapshots=check_snapshots)
         rerun_summary = summarize(spec, rerun, rerun_report)

@@ -94,6 +94,14 @@ PARAMETERS: typing.Tuple[Parameter, ...] = (
               "crash/recover cycles per node (fault injection)"),
     Parameter("fault-seed", "fault_seed", int, 0,
               "seed for the fault schedule (independent of the workload)"),
+    Parameter("partition-count", "partition_count", int, 0,
+              "timed network partition/heal cycles (fault injection)"),
+    Parameter("coordinator-crashes", "coordinator_crashes", int, 0,
+              "mid-wave advancement-coordinator crash/recover cycles "
+              "(coordinator-ful protocols only; ignored by baselines)"),
+    Parameter("stall-budget", "stall_budget", float, 0.0,
+              "advancement liveness budget for the stall watchdog "
+              "(0 = twice the advancement period)"),
     # Replication axes (repro.placement): replication-factor 1 means no
     # placement machinery is attached and the run is bit-identical to the
     # single-owner path (digest() also omits both fields then, so specs
@@ -182,6 +190,9 @@ class ExperimentSpec:
     dup_rate: float = 0.0
     crash_count: int = 0
     fault_seed: int = 0
+    partition_count: int = 0
+    coordinator_crashes: int = 0
+    stall_budget: float = 0.0
     replication_factor: int = 1
     refresh_delay: float = 2.0
 
@@ -212,6 +223,15 @@ class ExperimentSpec:
             # valid; refresh_delay is placement-only so it drops too.
             payload.pop("replication_factor")
             payload.pop("refresh_delay")
+        # Same backwards-compatibility rule for the chaos axes added
+        # later: each drops from the hash at its default, so pre-existing
+        # spec digests (and cached fleet results) stay valid.
+        if self.partition_count == 0:
+            payload.pop("partition_count")
+        if self.coordinator_crashes == 0:
+            payload.pop("coordinator_crashes")
+        if self.stall_budget == 0.0:
+            payload.pop("stall_budget")
         payload["_spec_version"] = _SPEC_DIGEST_VERSION
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode()).hexdigest()

@@ -20,6 +20,7 @@ import json
 import typing
 
 from repro.analysis import (
+    advancement_stalls,
     audit,
     latency_summary,
     max_remote_wait,
@@ -98,6 +99,20 @@ class ExperimentSummary:
     refreshes_completed: int = 0
     self_refreshes: int = 0
     unreadable_reads_served: int = 0
+    # partition / coordinator-failure machinery (all zero unless the spec
+    # enabled those axes; defaulted so cached summaries deserialize)
+    partitions_cut: int = 0
+    stale_epochs_fenced: int = 0
+    coordinator_crashes: int = 0
+    coordinator_recoveries: int = 0
+    coordinator_takeovers: int = 0
+    coordinator_epoch: int = 0
+    # advancement liveness watchdog (stalls = budget-exceeding gaps
+    # between read-version advancements; zero when no coordinator ran)
+    stall_count: int = 0
+    stall_time: float = 0.0
+    longest_stall: float = 0.0
+    stall_staleness_max: float = 0.0
     # worker-side wall-clock of the simulation itself (excluded from the
     # determinism digest: it is the one machine-dependent field, kept so
     # scaling benchmarks can compare configurations through the fleet)
@@ -147,6 +162,15 @@ def summarize(spec: ExperimentSpec, result, report) -> ExperimentSummary:
     counter_polls = sum(a.counter_polls for a in history.advancements)
     placement = getattr(result.system, "placement", None)
     placement_counters = placement.counters() if placement is not None else {}
+    # The liveness watchdog only makes sense where an advancement
+    # coordinator actually drives vr (the epoch attribute is the
+    # duck-typed marker for that — baselines either have no coordinator
+    # or an epoch-less one, and a whole-run "stall" there would be
+    # noise, not signal).
+    stalls = None
+    if getattr(coordinator, "epoch", 0) and not history.streaming:
+        budget = spec.stall_budget or 2.0 * spec.advancement_period
+        stalls = advancement_stalls(history, result.duration, budget)
     return ExperimentSummary(
         spec_digest=spec.digest(),
         protocol=spec.protocol,
@@ -196,6 +220,16 @@ def summarize(spec: ExperimentSpec, result, report) -> ExperimentSummary:
         self_refreshes=placement_counters.get("self_refreshes", 0),
         unreadable_reads_served=placement_counters.get(
             "unreadable_reads_served", 0),
+        partitions_cut=stats.partition_dropped,
+        stale_epochs_fenced=stats.stale_epoch_dropped,
+        coordinator_crashes=getattr(coordinator, "crashes", 0),
+        coordinator_recoveries=getattr(coordinator, "recoveries", 0),
+        coordinator_takeovers=getattr(coordinator, "takeovers", 0),
+        coordinator_epoch=getattr(coordinator, "epoch", 0),
+        stall_count=stalls.count if stalls else 0,
+        stall_time=stalls.total if stalls else 0.0,
+        longest_stall=stalls.longest if stalls else 0.0,
+        stall_staleness_max=stalls.staleness_max if stalls else 0.0,
     )
 
 

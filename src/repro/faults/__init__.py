@@ -13,7 +13,12 @@ paper's reliability assumptions.
 """
 
 from repro.faults.network import ChaosNetwork, FaultyNetwork, build_network
-from repro.faults.plan import CrashEvent, FaultPlan, LinkFaults
+from repro.faults.plan import (
+    CrashEvent,
+    FaultPlan,
+    LinkFaults,
+    PartitionEvent,
+)
 
 __all__ = [
     "ChaosNetwork",
@@ -21,5 +26,6 @@ __all__ = [
     "FaultPlan",
     "FaultyNetwork",
     "LinkFaults",
+    "PartitionEvent",
     "build_network",
 ]

@@ -42,8 +42,18 @@ class FaultyNetwork(Network):
         self._drop_rng = registry.stream("faults.drop")
         self._dup_rng = registry.stream("faults.dup")
         self._spike_rng = registry.stream("faults.spike")
+        self._partitions = plan.partitions
 
     def _transmit(self, message: Message, extra_delay: float = 0.0) -> None:
+        # Partitions cut the wire before any probabilistic draw: the check
+        # is a pure function of (src, dst, now), so a partition-free plan
+        # draws exactly what it drew before partitions existed, and a
+        # zero-fault plan still draws nothing at all.
+        if self._partitions and self.plan.cut(
+            message.src, message.dst, self.sim.now
+        ):
+            self.stats.partition_dropped += 1
+            return
         faults = self.plan.link(message.src, message.dst)
         if not faults.active:
             super()._transmit(message, extra_delay)
@@ -82,10 +92,12 @@ class ChaosNetwork(ReliableNetwork, FaultyNetwork):
 def build_network(sim, plan: FaultPlan, **kwargs) -> Network:
     """The right network for a plan.
 
-    Lossy plans (any drop or duplication) need the reliable layer to
-    restore the exactly-once contract the protocols assume; drop-free
-    plans use the bare injector, which adds no ack/timer traffic — so a
-    zero-fault plan stays event-for-event identical to the seed path.
+    Lossy plans (any drop or duplication, or any partition — a copy cut
+    mid-partition must be retransmitted after the heal) need the reliable
+    layer to restore the exactly-once contract the protocols assume;
+    drop-free plans use the bare injector, which adds no ack/timer
+    traffic — so a zero-fault plan stays event-for-event identical to the
+    seed path.
     """
     if plan.lossy:
         return ChaosNetwork(sim, plan=plan, policy=plan.retransmit, **kwargs)

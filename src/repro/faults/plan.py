@@ -74,7 +74,14 @@ class LinkFaults:
 @dataclasses.dataclass(frozen=True)
 class CrashEvent:
     """One scheduled fail-stop crash: ``node`` goes down at ``at`` for
-    ``down_for`` simulated seconds, then recovers."""
+    ``down_for`` simulated seconds, then recovers.
+
+    ``node`` may also name a non-node crash target the driving system
+    declares (e.g. the 3V advancement coordinator's ``"coordinator"``
+    endpoint); :class:`repro.runtime.System` validates every target at
+    wiring time, so a typo fails construction instead of silently never
+    firing.
+    """
 
     node: str
     at: float
@@ -89,6 +96,58 @@ class CrashEvent:
 
 
 @dataclasses.dataclass(frozen=True)
+class PartitionEvent:
+    """One timed network partition between two node groups, then a heal.
+
+    From ``at`` until ``at + duration`` every physical copy sent from
+    ``side_a`` to ``side_b`` is dropped at the transmission seam; with
+    ``symmetric=True`` (the default) the reverse direction is cut too,
+    while ``symmetric=False`` models an asymmetric link failure where
+    ``side_b`` can still reach ``side_a``.  Healing is implicit: past the
+    window the partition draws nothing and costs nothing.  Endpoints named
+    in neither side (e.g. a coordinator endpoint left out of both groups)
+    are unaffected.
+    """
+
+    side_a: typing.Tuple[str, ...]
+    side_b: typing.Tuple[str, ...]
+    at: float
+    duration: float
+    symmetric: bool = True
+
+    def __post_init__(self):
+        if self.at < 0 or self.duration <= 0:
+            raise SimulationError(
+                f"partition schedule must have at >= 0 and duration > 0, "
+                f"got at={self.at!r} duration={self.duration!r}"
+            )
+        if not self.side_a or not self.side_b:
+            raise SimulationError("partition sides must both be non-empty")
+        set_a, set_b = frozenset(self.side_a), frozenset(self.side_b)
+        if set_a & set_b:
+            raise SimulationError(
+                f"partition sides overlap: {sorted(set_a & set_b)}"
+            )
+        # Cached frozensets for the per-transmission membership test; not
+        # dataclass fields, so eq/repr stay the declared schedule.
+        object.__setattr__(self, "_set_a", set_a)
+        object.__setattr__(self, "_set_b", set_b)
+
+    @property
+    def heal_at(self) -> float:
+        return self.at + self.duration
+
+    def cuts(self, src: str, dst: str, now: float) -> bool:
+        """Whether a copy from ``src`` to ``dst`` at ``now`` is cut."""
+        if not self.at <= now < self.heal_at:
+            return False
+        if src in self._set_a and dst in self._set_b:
+            return True
+        return (self.symmetric
+                and src in self._set_b and dst in self._set_a)
+
+
+@dataclasses.dataclass(frozen=True)
 class FaultPlan:
     """A complete, immutable fault schedule for one run.
 
@@ -97,6 +156,7 @@ class FaultPlan:
         default_link: Faults applied to links without an override.
         links: Per-``(src, dst)`` overrides.
         crashes: Timed crash/recover events.
+        partitions: Timed partition/heal events.
         retransmit: Tuning for the reliable-delivery layer.
     """
 
@@ -106,6 +166,7 @@ class FaultPlan:
         dataclasses.field(default_factory=dict)
     )
     crashes: typing.Tuple[CrashEvent, ...] = ()
+    partitions: typing.Tuple[PartitionEvent, ...] = ()
     retransmit: RetransmitPolicy = dataclasses.field(
         default_factory=RetransmitPolicy
     )
@@ -114,10 +175,19 @@ class FaultPlan:
         """The fault parameters governing one directed link."""
         return self.links.get((src, dst), self.default_link)
 
+    def cut(self, src: str, dst: str, now: float) -> bool:
+        """Whether an active partition cuts the ``src -> dst`` link now."""
+        return any(p.cuts(src, dst, now) for p in self.partitions)
+
     @property
     def lossy(self) -> bool:
-        """Whether any link can lose or duplicate messages."""
-        return self.default_link.lossy or any(
+        """Whether any link can lose (or duplicate) messages.
+
+        A partitioned plan counts: cross-partition copies are dropped
+        outright, so without the reliable-delivery layer they would be
+        lost forever instead of retransmitted after the heal.
+        """
+        return bool(self.partitions) or self.default_link.lossy or any(
             faults.lossy for faults in self.links.values()
         )
 
@@ -137,20 +207,37 @@ class FaultPlan:
         duration: float = 30.0,
         spike_probability: float = 0.0,
         spike_delay: float = 0.0,
+        crash_window: float = 0.7,
+        partition_count: int = 0,
         retransmit: typing.Optional[RetransmitPolicy] = None,
     ) -> "FaultPlan":
         """A randomized fault storm, fully determined by ``fault_seed``.
 
         Every link gets the same drop/dup/spike parameters; each node gets
         ``crash_count`` non-overlapping crash/recover cycles at times drawn
-        from the fault seed, confined to the first 70% of ``duration`` so
-        the post-storm drain observes a fully recovered cluster.
+        from the fault seed, confined to the first ``crash_window`` of
+        ``duration`` (default 70%) so the post-storm drain observes a fully
+        recovered cluster.  ``partition_count`` adds that many timed
+        symmetric partition/heal cycles in the same window, each splitting
+        the sorted node list at a seed-drawn point; partition draws come
+        from their own RNG stream, so adding partitions never perturbs the
+        crash schedule of an otherwise-identical plan.
         """
         if crash_count < 0:
             raise SimulationError(f"crash_count must be >= 0: {crash_count}")
+        if partition_count < 0:
+            raise SimulationError(
+                f"partition_count must be >= 0: {partition_count}"
+            )
         if duration <= 0:
             raise SimulationError(f"duration must be > 0: {duration}")
-        rng = RngRegistry(fault_seed).stream("faults.storm")
+        if not 0.0 < crash_window <= 1.0:
+            raise SimulationError(
+                f"crash_window must be in (0, 1], got {crash_window!r}"
+            )
+        registry = RngRegistry(fault_seed)
+        rng = registry.stream("faults.storm")
+        window = crash_window * duration
         crashes: typing.List[CrashEvent] = []
         # Sorted node order: the schedule must not depend on caller order.
         for node in sorted(node_ids):
@@ -158,13 +245,30 @@ class FaultPlan:
                 break
             # Partition the crash window into equal slices, one cycle per
             # slice: crashes on one node can never overlap.
-            window = 0.7 * duration
             slice_width = window / crash_count
             for i in range(crash_count):
                 slice_start = i * slice_width
                 at = slice_start + rng.uniform(0.05, 0.45) * slice_width
                 down_for = rng.uniform(0.1, 0.4) * slice_width
                 crashes.append(CrashEvent(node=node, at=at, down_for=down_for))
+        partitions: typing.List[PartitionEvent] = []
+        ordered = sorted(node_ids)
+        if partition_count and len(ordered) >= 2:
+            p_rng = registry.stream("faults.storm.partitions")
+            slice_width = window / partition_count
+            for i in range(partition_count):
+                slice_start = i * slice_width
+                at = slice_start + p_rng.uniform(0.05, 0.45) * slice_width
+                cut_for = p_rng.uniform(0.15, 0.45) * slice_width
+                split = 1 + min(
+                    len(ordered) - 2,
+                    int(p_rng.uniform(0.0, 1.0) * (len(ordered) - 1)),
+                )
+                partitions.append(PartitionEvent(
+                    side_a=tuple(ordered[:split]),
+                    side_b=tuple(ordered[split:]),
+                    at=at, duration=cut_for,
+                ))
         return cls(
             fault_seed=fault_seed,
             default_link=LinkFaults(
@@ -174,6 +278,7 @@ class FaultPlan:
                 spike_delay=spike_delay,
             ),
             crashes=tuple(crashes),
+            partitions=tuple(partitions),
             retransmit=(retransmit if retransmit is not None
                         else RetransmitPolicy()),
         )

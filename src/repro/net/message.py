@@ -37,6 +37,9 @@ class MessageKind:
     READ_ADVANCE_ACK = _intern("read-advance-ack")
     GARBAGE_COLLECT = _intern("garbage-collect")
     GARBAGE_COLLECT_ACK = _intern("garbage-collect-ack")
+    # Coordinator lease heartbeat (failover mode only: sent solely when a
+    # lease interval is configured, so default runs carry none of these).
+    COORDINATOR_HEARTBEAT = _intern("coordinator-heartbeat")
     # Baseline control traffic (manual versioning / synchronous switches).
     FREEZE = _intern("freeze")
     FREEZE_ACK = _intern("freeze-ack")
@@ -69,6 +72,7 @@ class MessageKind:
             READ_ADVANCE_ACK,
             GARBAGE_COLLECT,
             GARBAGE_COLLECT_ACK,
+            COORDINATOR_HEARTBEAT,
             FREEZE,
             FREEZE_ACK,
             UNFREEZE,

@@ -37,7 +37,8 @@ class NetworkStats:
     """
 
     __slots__ = ("_by_kind", "retransmits", "dup_suppressed", "dropped",
-                 "duplicated", "batches", "batched_messages")
+                 "duplicated", "batches", "batched_messages",
+                 "partition_dropped", "stale_epoch_dropped")
 
     def __init__(self):
         self._by_kind: typing.Dict[str, typing.List[float]] = {}
@@ -49,6 +50,11 @@ class NetworkStats:
         self.dropped = 0
         #: Extra copies injected by the fault injector.
         self.duplicated = 0
+        #: Copies cut by an active network partition (fault injector).
+        self.partition_dropped = 0
+        #: Advancement messages fenced for carrying a dead coordinator
+        #: incarnation's epoch (bumped by the 3V control plane).
+        self.stale_epoch_dropped = 0
         #: Batch delivery events scheduled, one per distinct delivery
         #: tick (``batch_delivery`` mode only).
         self.batches = 0

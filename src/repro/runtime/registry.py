@@ -39,6 +39,17 @@ class ProtocolEntry:
     #: The protocol guarantees snapshot-consistent reads, so the CLI
     #: treats a failed serializability audit as an error, not a finding.
     strict_audit: bool = False
+    #: Crash-target id of the protocol's advancement coordinator, when it
+    #: has one (``None`` for coordinator-free baselines).  The chaos
+    #: harness uses this to aim coordinator crash events.
+    coordinator: typing.Optional[str] = None
+    #: Whether the protocol detects in-flight work before retiring a
+    #: version.  ``False`` marks the paper's manual-versioning failure
+    #: mode as *expected*: a straggler delayed past the fixed safety
+    #: delay (e.g. by a partition) loses its latest-version update, so
+    #: the chaos harness reports — but does not fail on — store
+    #: disagreement under partition plans.
+    detects_termination: bool = True
 
 
 class ProtocolRegistry:
@@ -51,11 +62,14 @@ class ProtocolRegistry:
 
     def register(self, name: str, builder: typing.Callable, *,
                  description: str = "", order: int,
-                 strict_audit: bool = False) -> ProtocolEntry:
+                 strict_audit: bool = False,
+                 coordinator: typing.Optional[str] = None,
+                 detects_termination: bool = True) -> ProtocolEntry:
         """Add a protocol (idempotent for identical re-registration)."""
         entry = ProtocolEntry(
             name=name, builder=builder, description=description,
-            order=order, strict_audit=strict_audit,
+            order=order, strict_audit=strict_audit, coordinator=coordinator,
+            detects_termination=detects_termination,
         )
         existing = self._entries.get(name)
         if existing is not None and existing != entry:

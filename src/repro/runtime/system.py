@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, SimulationError
 from repro.net.latency import LatencyModel
 from repro.net.network import Network
 from repro.runtime.config import NodeConfig
@@ -65,6 +65,11 @@ class System:
     #: Plugin built when the ``plugin`` argument is omitted.
     plugin_class: typing.Type[ProtocolPlugin] = ProtocolPlugin
 
+    #: Crash targets beyond the database nodes that subclasses accept
+    #: (e.g. 3V registers its advancement coordinator).  Crash events
+    #: aimed at these are routed to :meth:`_scheduled_extra_crash`.
+    extra_crash_targets: typing.Tuple[str, ...] = ()
+
     def __init__(
         self,
         node_ids: typing.Sequence[str],
@@ -113,9 +118,33 @@ class System:
         if placement is not None:
             placement.bind(self)
         if faults is not None:
+            # Validate every fault target at wiring time: a typo'd node id
+            # in a crash or partition event would otherwise silently
+            # inject no fault at all, and the run would "pass" untested.
+            known = set(self.nodes) | set(self.extra_crash_targets)
             for event in faults.crashes:
+                if event.node not in known:
+                    raise SimulationError(
+                        f"fault plan crashes unknown target {event.node!r} "
+                        f"(nodes: {sorted(self.nodes)}, extra targets: "
+                        f"{sorted(self.extra_crash_targets)})"
+                    )
                 if event.node in self.nodes:
                     self.sim.schedule(event.at, self._scheduled_crash, event)
+                else:
+                    self.sim.schedule(
+                        event.at, self._scheduled_extra_crash, event
+                    )
+            for partition in faults.partitions:
+                for side in (partition.side_a, partition.side_b):
+                    for member in side:
+                        if member not in known:
+                            raise SimulationError(
+                                f"fault plan partitions unknown target "
+                                f"{member!r} (nodes: {sorted(self.nodes)}, "
+                                f"extra targets: "
+                                f"{sorted(self.extra_crash_targets)})"
+                            )
         self._submitted = 0
 
     @property
@@ -239,6 +268,17 @@ class System:
             return
         self.crash(event.node)
         self.sim.schedule(event.down_for, self.recover, event.node)
+
+    def _scheduled_extra_crash(self, event) -> None:
+        """Run a planned crash of a non-node target (subclass hook).
+
+        The base system has no extra targets, so reaching this is a
+        programming error — subclasses that declare
+        :attr:`extra_crash_targets` must override it.
+        """
+        raise ProtocolError(
+            f"no handler for extra crash target {event.node!r}"
+        )
 
     # ------------------------------------------------------------------
     # Running

@@ -56,6 +56,17 @@ class Event:
         return self._value is not _PENDING and self._exception is None
 
     @property
+    def exception(self) -> typing.Optional[BaseException]:
+        """The exception the event failed with (``None`` otherwise).
+
+        Lets a waiter that caught an exception at its ``yield`` tell
+        whether it came from the awaited event's failure (instance
+        identity) or was thrown into the waiter itself (e.g. its own
+        ``kill()``).
+        """
+        return self._exception
+
+    @property
     def value(self):
         """The value the event succeeded with.
 

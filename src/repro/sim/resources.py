@@ -141,6 +141,17 @@ class Store:
             self._getters.append(event)
         return event
 
+    def abandon_getters(self) -> None:
+        """Discard every waiting getter (their events never trigger).
+
+        The teardown primitive for killing a consumer process: a killed
+        process's pending getter would otherwise stay queued and swallow
+        the next ``put`` — the item would succeed a dead event and be lost.
+        Callers kill the consumer, abandon its getters, and (typically)
+        freeze the store until a successor takes over.
+        """
+        self._getters.clear()
+
     def take_nowait(self):
         """Take the oldest queued item without blocking.
 

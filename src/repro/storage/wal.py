@@ -112,6 +112,78 @@ class JournaledCounters(JournaledComponent):
         return self._inner.inc_completion(version, src)
 
 
+class CoordinatorState:
+    """The advancement coordinator's durable control record.
+
+    Four scalars capture everything a successor incarnation needs to take
+    over mid-protocol: the committed read/update versions, the in-flight
+    wave's target update version (``None`` between waves), and the highest
+    advancement epoch ever issued.  The record is deliberately tiny —
+    phase progress *within* a wave is not logged, because every phase is
+    idempotent (version bumps no-op at or below the node's current
+    version; RT/CT aggregates are monotone, so re-gathering never
+    double-counts) and a successor simply re-runs the wave from the top.
+    """
+
+    def __init__(self):
+        self.vr = 0
+        self.vu = 1
+        self.epoch = 1
+        self.in_flight: typing.Optional[int] = None
+
+    def set_vu(self, version: int) -> None:
+        self.vu = version
+
+    def set_vr(self, version: int) -> None:
+        self.vr = version
+
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def begin_wave(self, vu_new: int) -> None:
+        self.in_flight = vu_new
+
+    def end_wave(self) -> None:
+        self.in_flight = None
+
+
+class JournaledCoordinatorState(JournaledComponent):
+    """Redo-logging wrapper over :class:`CoordinatorState`.
+
+    The coordinator role's equivalent of a node's journaled store: a
+    crashed incarnation's volatile object is discarded and the record is
+    rebuilt from the log, modelling the paper's "standard logging
+    techniques" applied to the control plane (the log is what a standby
+    reads to take the role over).
+    """
+
+    def __init__(self, inner: typing.Optional[CoordinatorState] = None):
+        super().__init__(
+            inner if inner is not None else CoordinatorState(),
+            CoordinatorState,
+        )
+
+    def set_vu(self, version: int) -> None:
+        self._log.append(("set_vu", (version,)))
+        return self._inner.set_vu(version)
+
+    def set_vr(self, version: int) -> None:
+        self._log.append(("set_vr", (version,)))
+        return self._inner.set_vr(version)
+
+    def set_epoch(self, epoch: int) -> None:
+        self._log.append(("set_epoch", (epoch,)))
+        return self._inner.set_epoch(epoch)
+
+    def begin_wave(self, vu_new: int) -> None:
+        self._log.append(("begin_wave", (vu_new,)))
+        return self._inner.begin_wave(vu_new)
+
+    def end_wave(self) -> None:
+        self._log.append(("end_wave", ()))
+        return self._inner.end_wave()
+
+
 class NodeJournal:
     """A node's collection of journaled components.
 

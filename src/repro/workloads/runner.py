@@ -152,6 +152,9 @@ def run_recording_experiment(
     dup_rate: float = 0.0,
     crash_count: int = 0,
     fault_seed: int = 0,
+    partition_count: int = 0,
+    coordinator_crashes: int = 0,
+    stall_budget: float = 0.0,
     drain_limit: float = 100000.0,
     stream: int = 0,
     zipf: float = 0.0,
@@ -166,10 +169,18 @@ def run_recording_experiment(
 
     Arrival processes and workload composition are derived from ``seed``
     only, independent of the protocol under test.  The fault axes
-    (``drop_rate``/``dup_rate``/``crash_count``, scheduled from
-    ``fault_seed``) build a :class:`repro.faults.FaultPlan` storm; with
-    all three at zero no fault machinery is attached at all, keeping the
-    seed path bit-identical.
+    (``drop_rate``/``dup_rate``/``crash_count``/``partition_count``,
+    scheduled from ``fault_seed``) build a :class:`repro.faults.FaultPlan`
+    storm; with all of them at zero no fault machinery is attached at all,
+    keeping the seed path bit-identical.
+
+    ``coordinator_crashes`` adds that many deterministic mid-wave crash /
+    recover cycles of the protocol's advancement coordinator (one and a
+    half time units after each of the first N periodic wave starts, down
+    for 2.5).  Protocols without a registered coordinator ignore the axis
+    entirely.  ``stall_budget`` is analysis-side only (the liveness
+    watchdog's budget, consumed by :func:`repro.exp.summarize`); it is
+    accepted here so spec ``run_kwargs`` round-trip.
 
     ``replication_factor`` places each (entity, slot) record on that many
     replica nodes and attaches a :class:`repro.placement.PlacementState`
@@ -185,17 +196,40 @@ def run_recording_experiment(
     history, so tests can compare streamed aggregates bit-for-bit against
     exact end-of-run computation over the *same* trace.
     """
+    del stall_budget  # analysis-side knob; accepted for spec round-trips
     node_ids = [f"n{index:02d}" for index in range(nodes)]
     span = min(span, nodes)
+    entry = PROTOCOLS.get(protocol)
+    coordinator_id = getattr(entry, "coordinator", None)
+    wanted_coordinator_crashes = (
+        coordinator_crashes if coordinator_id is not None else 0
+    )
     faults = system_kwargs.pop("faults", None)
-    if faults is None and (drop_rate or dup_rate or crash_count):
-        from repro.faults import FaultPlan
+    if faults is None and (drop_rate or dup_rate or crash_count
+                           or partition_count or wanted_coordinator_crashes):
+        from repro.faults import CrashEvent, FaultPlan
 
         faults = FaultPlan.storm(
             node_ids, drop_rate=drop_rate, dup_rate=dup_rate,
             crash_count=crash_count, fault_seed=fault_seed,
-            duration=duration,
+            duration=duration, partition_count=partition_count,
         )
+        if wanted_coordinator_crashes:
+            # Deterministic mid-wave coordinator crashes: the periodic
+            # policy starts wave i+1 at advancement_period * (i+1), so a
+            # crash 1.5 later lands inside the wave by construction (and
+            # is trivially repeatable for the same spec).
+            extra = tuple(
+                CrashEvent(
+                    node=coordinator_id,
+                    at=advancement_period * (index + 1) + 1.5,
+                    down_for=2.5,
+                )
+                for index in range(wanted_coordinator_crashes)
+            )
+            faults = dataclasses.replace(
+                faults, crashes=faults.crashes + extra
+            )
     stream_mode = bool(stream)
     history = None
     if stream_mode and stream_aggregates:
