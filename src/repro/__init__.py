@@ -20,6 +20,12 @@ Quick start::
 See ``README.md`` for the full tour and ``DESIGN.md`` for the system map.
 """
 
+from repro._accel import (
+    accel_backend,
+    accel_status,
+    accelerated_modules,
+    build_mode,
+)
 from repro.analysis import (
     AnomalyReport,
     LatencySummary,
@@ -115,7 +121,11 @@ __all__ = [
     "Uniform",
     "UniformLatency",
     "WriteOp",
+    "accel_backend",
+    "accel_status",
+    "accelerated_modules",
     "audit",
+    "build_mode",
     "build_system",
     "check_all",
     "constant_latency",

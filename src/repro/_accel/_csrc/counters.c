@@ -1,0 +1,737 @@
+/* Compiled twin of repro.storage.counters (the "ckernel" accel backend).
+ *
+ * Drop-in replacements for CounterTable, quiescent(), and
+ * aggregate_quiescent() with C-native storage: each side (requests /
+ * completions) is a small array of per-version rows, each row a small
+ * array of (peer, count) cells plus the incrementally maintained total.
+ * Rows and cells are found by linear scan — the paper bounds live
+ * versions at three and peer sets at the node count, so scans beat
+ * hashing at these sizes — with a pointer-equality fast path for peer
+ * ids (interned node-id strings in practice).
+ *
+ * Semantics must match the pure module bit-for-bit: same error types and
+ * messages, same dict ordering (cells are appended in first-increment
+ * order, exactly like pure dict insertion order), same gc-floor
+ * lost-increment accounting.  tests/test_counters.py and the
+ * aggregate-quiescence Hypothesis suite run against both builds.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+/* ------------------------------------------------------------------ */
+/* Lazy error-class resolution (repro.errors must not be imported at   */
+/* extension-init time: the module may be imported mid-package-init).  */
+/* ------------------------------------------------------------------ */
+
+static PyObject *counter_error_cls = NULL;
+
+static PyObject *
+get_counter_error(void)
+{
+    if (counter_error_cls == NULL) {
+        PyObject *mod = PyImport_ImportModule("repro.errors");
+        if (mod == NULL)
+            return NULL;
+        counter_error_cls = PyObject_GetAttrString(mod, "CounterError");
+        Py_DECREF(mod);
+    }
+    return counter_error_cls;
+}
+
+/* ------------------------------------------------------------------ */
+/* Storage                                                             */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject *peer;     /* owned */
+    long long count;
+} Cell;
+
+typedef struct {
+    long long version;
+    long long total;    /* incrementally maintained sum of cell counts */
+    int n, cap;
+    Cell *cells;
+} Row;
+
+typedef struct {
+    int n, cap;
+    Row *rows;
+} Side;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *node_id;      /* owned */
+    Side req;
+    Side comp;
+    long long gc_floor;
+    int has_gc_floor;
+    long long lost_increments;
+} CounterTableObject;
+
+static Row *
+side_find(Side *side, long long version)
+{
+    Row *rows = side->rows;
+    int n = side->n;
+    for (int i = 0; i < n; i++) {
+        if (rows[i].version == version)
+            return &rows[i];
+    }
+    return NULL;
+}
+
+static Row *
+side_add(Side *side, long long version)
+{
+    if (side->n == side->cap) {
+        int cap = side->cap ? side->cap * 2 : 4;
+        Row *rows = PyMem_Realloc(side->rows, (size_t)cap * sizeof(Row));
+        if (rows == NULL) {
+            PyErr_NoMemory();
+            return NULL;
+        }
+        side->rows = rows;
+        side->cap = cap;
+    }
+    Row *row = &side->rows[side->n++];
+    row->version = version;
+    row->total = 0;
+    row->n = 0;
+    row->cap = 0;
+    row->cells = NULL;
+    return row;
+}
+
+/* Find-or-create the cell for `peer`; returns NULL on error. */
+static Cell *
+row_cell(Row *row, PyObject *peer)
+{
+    Cell *cells = row->cells;
+    int n = row->n;
+    for (int i = 0; i < n; i++) {
+        if (cells[i].peer == peer)
+            return &cells[i];
+    }
+    for (int i = 0; i < n; i++) {
+        int eq = PyObject_RichCompareBool(cells[i].peer, peer, Py_EQ);
+        if (eq < 0)
+            return NULL;
+        if (eq)
+            return &cells[i];
+    }
+    if (row->n == row->cap) {
+        int cap = row->cap ? row->cap * 2 : 4;
+        Cell *grown = PyMem_Realloc(row->cells, (size_t)cap * sizeof(Cell));
+        if (grown == NULL) {
+            PyErr_NoMemory();
+            return NULL;
+        }
+        row->cells = grown;
+        row->cap = cap;
+    }
+    Cell *cell = &row->cells[row->n++];
+    Py_INCREF(peer);
+    cell->peer = peer;
+    cell->count = 0;
+    return cell;
+}
+
+static void
+row_free(Row *row)
+{
+    for (int i = 0; i < row->n; i++)
+        Py_CLEAR(row->cells[i].peer);
+    PyMem_Free(row->cells);
+    row->cells = NULL;
+    row->n = row->cap = 0;
+}
+
+static void
+side_free(Side *side)
+{
+    for (int i = 0; i < side->n; i++)
+        row_free(&side->rows[i]);
+    PyMem_Free(side->rows);
+    side->rows = NULL;
+    side->n = side->cap = 0;
+}
+
+/* Drop every row with version < floor. */
+static void
+side_gc_below(Side *side, long long floor)
+{
+    int keep = 0;
+    for (int i = 0; i < side->n; i++) {
+        if (side->rows[i].version < floor) {
+            row_free(&side->rows[i]);
+        } else {
+            side->rows[keep++] = side->rows[i];
+        }
+    }
+    side->n = keep;
+}
+
+/* ------------------------------------------------------------------ */
+/* CounterTable methods                                                */
+/* ------------------------------------------------------------------ */
+
+static int
+CounterTable_init(CounterTableObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"node_id", NULL};
+    PyObject *node_id;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O:CounterTable", kwlist,
+                                     &node_id))
+        return -1;
+    Py_INCREF(node_id);
+    Py_XSETREF(self->node_id, node_id);
+    side_free(&self->req);
+    side_free(&self->comp);
+    self->gc_floor = 0;
+    self->has_gc_floor = 0;
+    self->lost_increments = 0;
+    return 0;
+}
+
+static int
+CounterTable_traverse(CounterTableObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->node_id);
+    for (int i = 0; i < self->req.n; i++)
+        for (int j = 0; j < self->req.rows[i].n; j++)
+            Py_VISIT(self->req.rows[i].cells[j].peer);
+    for (int i = 0; i < self->comp.n; i++)
+        for (int j = 0; j < self->comp.rows[i].n; j++)
+            Py_VISIT(self->comp.rows[i].cells[j].peer);
+    return 0;
+}
+
+static int
+CounterTable_clear(CounterTableObject *self)
+{
+    Py_CLEAR(self->node_id);
+    side_free(&self->req);
+    side_free(&self->comp);
+    return 0;
+}
+
+static void
+CounterTable_dealloc(CounterTableObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    CounterTable_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+as_version(PyObject *obj, long long *out)
+{
+    long long v = PyLong_AsLongLong(obj);
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    *out = v;
+    return 0;
+}
+
+static PyObject *
+CounterTable_ensure_version(CounterTableObject *self, PyObject *arg)
+{
+    long long version;
+    if (as_version(arg, &version) < 0)
+        return NULL;
+    if (self->has_gc_floor && version < self->gc_floor)
+        Py_RETURN_NONE;
+    if (side_find(&self->req, version) == NULL &&
+        side_add(&self->req, version) == NULL)
+        return NULL;
+    if (side_find(&self->comp, version) == NULL &&
+        side_add(&self->comp, version) == NULL)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static int
+cmp_longlong(const void *a, const void *b)
+{
+    long long x = *(const long long *)a, y = *(const long long *)b;
+    return (x > y) - (x < y);
+}
+
+static PyObject *
+CounterTable_versions(CounterTableObject *self, PyObject *unused)
+{
+    int total = self->req.n + self->comp.n;
+    long long small[16];
+    long long *buf = small;
+    if (total > 16) {
+        buf = PyMem_Malloc((size_t)total * sizeof(long long));
+        if (buf == NULL)
+            return PyErr_NoMemory();
+    }
+    int n = 0;
+    for (int i = 0; i < self->req.n; i++)
+        buf[n++] = self->req.rows[i].version;
+    for (int i = 0; i < self->comp.n; i++)
+        buf[n++] = self->comp.rows[i].version;
+    qsort(buf, (size_t)n, sizeof(long long), cmp_longlong);
+    PyObject *list = PyList_New(0);
+    if (list == NULL)
+        goto fail;
+    for (int i = 0; i < n; i++) {
+        if (i > 0 && buf[i] == buf[i - 1])
+            continue;
+        PyObject *num = PyLong_FromLongLong(buf[i]);
+        if (num == NULL || PyList_Append(list, num) < 0) {
+            Py_XDECREF(num);
+            Py_DECREF(list);
+            goto fail;
+        }
+        Py_DECREF(num);
+    }
+    if (buf != small)
+        PyMem_Free(buf);
+    return list;
+fail:
+    if (buf != small)
+        PyMem_Free(buf);
+    return NULL;
+}
+
+static PyObject *
+CounterTable_gc_below(CounterTableObject *self, PyObject *arg)
+{
+    long long version;
+    if (as_version(arg, &version) < 0)
+        return NULL;
+    if (!self->has_gc_floor || version > self->gc_floor) {
+        self->gc_floor = version;
+        self->has_gc_floor = 1;
+    }
+    side_gc_below(&self->req, version);
+    side_gc_below(&self->comp, version);
+    Py_RETURN_NONE;
+}
+
+/* Cold path: increment against an unallocated version. */
+static PyObject *
+counter_miss(CounterTableObject *self, const char *kind, long long version)
+{
+    if (self->has_gc_floor && version < self->gc_floor) {
+        self->lost_increments++;
+        Py_RETURN_NONE;
+    }
+    PyObject *cls = get_counter_error();
+    if (cls == NULL)
+        return NULL;
+    PyObject *msg = PyUnicode_FromFormat(
+        "node %S: %s counter for unallocated version %lld",
+        self->node_id, kind, version);
+    if (msg == NULL)
+        return NULL;
+    PyErr_SetObject(cls, msg);
+    Py_DECREF(msg);
+    return NULL;
+}
+
+static PyObject *
+counter_inc(CounterTableObject *self, Side *side, const char *kind,
+            PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "inc_%s() takes exactly 2 arguments (%zd given)",
+                     kind, nargs);
+        return NULL;
+    }
+    long long version;
+    if (as_version(args[0], &version) < 0)
+        return NULL;
+    Row *row = side_find(side, version);
+    if (row == NULL)
+        return counter_miss(self, kind, version);
+    Cell *cell = row_cell(row, args[1]);
+    if (cell == NULL)
+        return NULL;
+    row->total++;
+    cell->count++;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+CounterTable_inc_request(CounterTableObject *self, PyObject *const *args,
+                         Py_ssize_t nargs)
+{
+    return counter_inc(self, &self->req, "request", args, nargs);
+}
+
+static PyObject *
+CounterTable_inc_completion(CounterTableObject *self, PyObject *const *args,
+                            Py_ssize_t nargs)
+{
+    return counter_inc(self, &self->comp, "completion", args, nargs);
+}
+
+/* Materialize one row as {peer: count} in first-increment order (the
+ * same order pure-Python dict insertion produces). */
+static PyObject *
+row_as_dict(Row *row)
+{
+    PyObject *result = PyDict_New();
+    if (result == NULL)
+        return NULL;
+    if (row == NULL)
+        return result;
+    for (int i = 0; i < row->n; i++) {
+        PyObject *num = PyLong_FromLongLong(row->cells[i].count);
+        if (num == NULL ||
+            PyDict_SetItem(result, row->cells[i].peer, num) < 0) {
+            Py_XDECREF(num);
+            Py_DECREF(result);
+            return NULL;
+        }
+        Py_DECREF(num);
+    }
+    return result;
+}
+
+static PyObject *
+side_row_dict(CounterTableObject *self, Side *side, PyObject *arg)
+{
+    long long version;
+    if (as_version(arg, &version) < 0)
+        return NULL;
+    return row_as_dict(side_find(side, version));
+}
+
+static PyObject *
+CounterTable_requests(CounterTableObject *self, PyObject *arg)
+{
+    return side_row_dict(self, &self->req, arg);
+}
+
+static PyObject *
+CounterTable_completions(CounterTableObject *self, PyObject *arg)
+{
+    return side_row_dict(self, &self->comp, arg);
+}
+
+/* The compiled table has no live Python row objects to alias, so the
+ * "zero-copy view" accessors materialize a snapshot — every caller in
+ * the tree copies the view immediately anyway (see the pure docstring's
+ * aliasing caveat), making a fresh dict strictly safer. */
+static PyObject *
+CounterTable_requests_view(CounterTableObject *self, PyObject *arg)
+{
+    return side_row_dict(self, &self->req, arg);
+}
+
+static PyObject *
+CounterTable_completions_view(CounterTableObject *self, PyObject *arg)
+{
+    return side_row_dict(self, &self->comp, arg);
+}
+
+static PyObject *
+side_cell_count(Side *side, PyObject *const *args, Py_ssize_t nargs,
+                const char *name)
+{
+    if (nargs != 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "%s() takes exactly 2 arguments (%zd given)",
+                     name, nargs);
+        return NULL;
+    }
+    long long version;
+    if (as_version(args[0], &version) < 0)
+        return NULL;
+    Row *row = side_find(side, version);
+    if (row == NULL)
+        return PyLong_FromLong(0);
+    PyObject *peer = args[1];
+    for (int i = 0; i < row->n; i++) {
+        if (row->cells[i].peer == peer)
+            return PyLong_FromLongLong(row->cells[i].count);
+    }
+    for (int i = 0; i < row->n; i++) {
+        int eq = PyObject_RichCompareBool(row->cells[i].peer, peer, Py_EQ);
+        if (eq < 0)
+            return NULL;
+        if (eq)
+            return PyLong_FromLongLong(row->cells[i].count);
+    }
+    return PyLong_FromLong(0);
+}
+
+static PyObject *
+CounterTable_request_count(CounterTableObject *self, PyObject *const *args,
+                           Py_ssize_t nargs)
+{
+    return side_cell_count(&self->req, args, nargs, "request_count");
+}
+
+static PyObject *
+CounterTable_completion_count(CounterTableObject *self, PyObject *const *args,
+                              Py_ssize_t nargs)
+{
+    return side_cell_count(&self->comp, args, nargs, "completion_count");
+}
+
+static PyObject *
+CounterTable_request_total(CounterTableObject *self, PyObject *arg)
+{
+    long long version;
+    if (as_version(arg, &version) < 0)
+        return NULL;
+    Row *row = side_find(&self->req, version);
+    return PyLong_FromLongLong(row ? row->total : 0);
+}
+
+static PyObject *
+CounterTable_completion_total(CounterTableObject *self, PyObject *arg)
+{
+    long long version;
+    if (as_version(arg, &version) < 0)
+        return NULL;
+    Row *row = side_find(&self->comp, version);
+    return PyLong_FromLongLong(row ? row->total : 0);
+}
+
+static PyObject *
+CounterTable_outstanding(CounterTableObject *self, PyObject *arg)
+{
+    long long version;
+    if (as_version(arg, &version) < 0)
+        return NULL;
+    Row *req = side_find(&self->req, version);
+    Row *comp = side_find(&self->comp, version);
+    return PyLong_FromLongLong((req ? req->total : 0) -
+                               (comp ? comp->total : 0));
+}
+
+static PyMethodDef CounterTable_methods[] = {
+    {"ensure_version", (PyCFunction)CounterTable_ensure_version, METH_O,
+     "Allocate (zeroed) counter rows for version if absent."},
+    {"versions", (PyCFunction)CounterTable_versions, METH_NOARGS,
+     "Sorted list of versions with allocated counters."},
+    {"gc_below", (PyCFunction)CounterTable_gc_below, METH_O,
+     "Drop counters for all versions strictly below version."},
+    {"inc_request", (PyCFunction)CounterTable_inc_request, METH_FASTCALL,
+     "Count a subtransaction sent from this node to dst."},
+    {"inc_completion", (PyCFunction)CounterTable_inc_completion,
+     METH_FASTCALL,
+     "Count a subtransaction invoked from src completing here."},
+    {"requests", (PyCFunction)CounterTable_requests, METH_O,
+     "Snapshot of R[version][dst] for this node (copies)."},
+    {"completions", (PyCFunction)CounterTable_completions, METH_O,
+     "Snapshot of C[version][src] for this node (copies)."},
+    {"requests_view", (PyCFunction)CounterTable_requests_view, METH_O,
+     "Point-in-time view of R[version][dst] (materialized snapshot)."},
+    {"completions_view", (PyCFunction)CounterTable_completions_view, METH_O,
+     "Point-in-time view of C[version][src] (materialized snapshot)."},
+    {"request_count", (PyCFunction)CounterTable_request_count, METH_FASTCALL,
+     "R[version][dst] (0 when absent)."},
+    {"completion_count", (PyCFunction)CounterTable_completion_count,
+     METH_FASTCALL, "C[version][src] (0 when absent)."},
+    {"request_total", (PyCFunction)CounterTable_request_total, METH_O,
+     "Incrementally-maintained sum(R[version].values())."},
+    {"completion_total", (PyCFunction)CounterTable_completion_total, METH_O,
+     "Incrementally-maintained sum(C[version].values())."},
+    {"outstanding", (PyCFunction)CounterTable_outstanding, METH_O,
+     "sum(R[version]) - sum(C[version]) for this node's tables."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef CounterTable_members[] = {
+    {"node_id", T_OBJECT_EX, offsetof(CounterTableObject, node_id), 0,
+     "Owning node id."},
+    {"lost_increments", T_LONGLONG,
+     offsetof(CounterTableObject, lost_increments), 0,
+     "Increments dropped against garbage-collected versions."},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyTypeObject CounterTableType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.storage.counters.CounterTable",
+    .tp_basicsize = sizeof(CounterTableObject),
+    .tp_dealloc = (destructor)CounterTable_dealloc,
+    .tp_flags = (Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE |
+                 Py_TPFLAGS_HAVE_GC),
+    .tp_doc = "Request/completion counters held by a single node "
+              "(compiled).",
+    .tp_traverse = (traverseproc)CounterTable_traverse,
+    .tp_clear = (inquiry)CounterTable_clear,
+    .tp_methods = CounterTable_methods,
+    .tp_members = CounterTable_members,
+    .tp_init = (initproc)CounterTable_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* Module-level quiescence checks                                      */
+/* ------------------------------------------------------------------ */
+
+static int
+dict_cell(PyObject *outer, PyObject *outer_key, PyObject *inner_key,
+          long long *out)
+{
+    /* outer.get(outer_key, {}).get(inner_key, 0) for int-valued dicts. */
+    *out = 0;
+    PyObject *row = PyDict_GetItemWithError(outer, outer_key);
+    if (row == NULL)
+        return PyErr_Occurred() ? -1 : 0;
+    if (!PyDict_Check(row)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "quiescent() snapshot rows must be dicts");
+        return -1;
+    }
+    PyObject *value = PyDict_GetItemWithError(row, inner_key);
+    if (value == NULL)
+        return PyErr_Occurred() ? -1 : 0;
+    long long v = PyLong_AsLongLong(value);
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    *out = v;
+    return 0;
+}
+
+/* One direction of the pairwise scan: every cell of `first` must equal
+ * its mirror in `second` (missing mirrors count as zero). */
+static int
+scan_side(PyObject *first, PyObject *second, int *equal)
+{
+    Py_ssize_t outer_pos = 0;
+    PyObject *p, *row;
+    while (PyDict_Next(first, &outer_pos, &p, &row)) {
+        if (!PyDict_Check(row)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "quiescent() snapshot rows must be dicts");
+            return -1;
+        }
+        Py_ssize_t inner_pos = 0;
+        PyObject *q, *value;
+        while (PyDict_Next(row, &inner_pos, &q, &value)) {
+            long long sent = PyLong_AsLongLong(value);
+            if (sent == -1 && PyErr_Occurred())
+                return -1;
+            long long mirror;
+            if (dict_cell(second, q, p, &mirror) < 0)
+                return -1;
+            if (sent != mirror) {
+                *equal = 0;
+                return 0;
+            }
+        }
+    }
+    return 0;
+}
+
+static PyObject *
+py_quiescent(PyObject *module, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "quiescent() takes exactly 2 arguments (%zd given)",
+                     nargs);
+        return NULL;
+    }
+    PyObject *reqs = args[0], *comps = args[1];
+    if (!PyDict_Check(reqs) || !PyDict_Check(comps)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "quiescent() requires dict snapshots");
+        return NULL;
+    }
+    int equal = 1;
+    if (scan_side(reqs, comps, &equal) < 0)
+        return NULL;
+    if (equal && scan_side(comps, reqs, &equal) < 0)
+        return NULL;
+    return PyBool_FromLong(equal);
+}
+
+static int
+sum_values(PyObject *mapping, long long *out)
+{
+    long long total = 0;
+    if (PyDict_Check(mapping)) {
+        Py_ssize_t pos = 0;
+        PyObject *key, *value;
+        while (PyDict_Next(mapping, &pos, &key, &value)) {
+            long long v = PyLong_AsLongLong(value);
+            if (v == -1 && PyErr_Occurred())
+                return -1;
+            total += v;
+        }
+    } else {
+        PyObject *values = PyMapping_Values(mapping);
+        if (values == NULL)
+            return -1;
+        Py_ssize_t n = PyList_GET_SIZE(values);
+        for (Py_ssize_t i = 0; i < n; i++) {
+            long long v = PyLong_AsLongLong(PyList_GET_ITEM(values, i));
+            if (v == -1 && PyErr_Occurred()) {
+                Py_DECREF(values);
+                return -1;
+            }
+            total += v;
+        }
+        Py_DECREF(values);
+    }
+    *out = total;
+    return 0;
+}
+
+static PyObject *
+py_aggregate_quiescent(PyObject *module, PyObject *const *args,
+                       Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_Format(
+            PyExc_TypeError,
+            "aggregate_quiescent() takes exactly 2 arguments (%zd given)",
+            nargs);
+        return NULL;
+    }
+    long long reqs, comps;
+    if (sum_values(args[0], &reqs) < 0 || sum_values(args[1], &comps) < 0)
+        return NULL;
+    return PyBool_FromLong(reqs == comps);
+}
+
+static PyMethodDef module_methods[] = {
+    {"quiescent", (PyCFunction)py_quiescent, METH_FASTCALL,
+     "Check R[v][p][q] == C[v][p][q] for all node pairs."},
+    {"aggregate_quiescent", (PyCFunction)py_aggregate_quiescent,
+     METH_FASTCALL,
+     "O(nodes) quiescence check from per-node aggregate totals."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef counters_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._accel.storage_counters",
+    .m_doc = "Compiled twin of repro.storage.counters.",
+    .m_size = -1,
+    .m_methods = module_methods,
+};
+
+PyMODINIT_FUNC
+PyInit_storage_counters(void)
+{
+    if (PyType_Ready(&CounterTableType) < 0)
+        return NULL;
+    PyObject *module = PyModule_Create(&counters_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&CounterTableType);
+    if (PyModule_AddObject(module, "CounterTable",
+                           (PyObject *)&CounterTableType) < 0) {
+        Py_DECREF(&CounterTableType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

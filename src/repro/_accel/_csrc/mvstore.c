@@ -1,0 +1,850 @@
+/* Compiled twin of repro.storage.mvstore (the "ckernel" accel backend).
+ *
+ * MVStore keeps one Chain object per key in a Python dict; a Chain is a
+ * C array of (version, value) entries sorted ascending by version.  The
+ * paper bounds live versions per item at three, so version lookups are
+ * one or two comparisons from the array tail — no per-read Python dict
+ * probing, no cached-max bookkeeping (the tail *is* the max).
+ *
+ * Semantics must match the pure module exactly: same error types and
+ * argument shapes (MissingItemError((key, version)) etc.), same return
+ * values (apply_geq's ascending tuple), same statistics accounting.
+ * Snapshot inner-dict ordering is version-ascending here vs. insertion
+ * order pure — explicitly unspecified by the API (compare with ==).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+/* Lazily resolved repro.errors classes. */
+static PyObject *missing_item_cls = NULL;
+static PyObject *missing_version_cls = NULL;
+static PyObject *storage_error_cls = NULL;
+
+static PyObject *
+get_error(PyObject **cache, const char *name)
+{
+    if (*cache == NULL) {
+        PyObject *mod = PyImport_ImportModule("repro.errors");
+        if (mod == NULL)
+            return NULL;
+        *cache = PyObject_GetAttrString(mod, name);
+        Py_DECREF(mod);
+    }
+    return *cache;
+}
+
+/* Raise cls((key, version)) — the pure error signature. */
+static PyObject *
+raise_keyed(PyObject **cache, const char *name, PyObject *key,
+            long long version)
+{
+    PyObject *cls = get_error(cache, name);
+    if (cls == NULL)
+        return NULL;
+    PyObject *vnum = PyLong_FromLongLong(version);
+    if (vnum == NULL)
+        return NULL;
+    PyObject *pair = PyTuple_Pack(2, key, vnum);
+    Py_DECREF(vnum);
+    if (pair == NULL)
+        return NULL;
+    PyErr_SetObject(cls, pair);
+    Py_DECREF(pair);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* Chain — internal per-key version array                              */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    long long version;
+    PyObject *value;    /* owned; may be NULL only transiently */
+} VEntry;
+
+typedef struct {
+    PyObject_HEAD
+    int n, cap;
+    VEntry *entries;    /* sorted ascending by version */
+} ChainObject;
+
+static PyTypeObject ChainType;  /* forward */
+
+static ChainObject *
+chain_new(void)
+{
+    ChainObject *chain = PyObject_GC_New(ChainObject, &ChainType);
+    if (chain == NULL)
+        return NULL;
+    chain->n = 0;
+    chain->cap = 0;
+    chain->entries = NULL;
+    PyObject_GC_Track((PyObject *)chain);
+    return chain;
+}
+
+static int
+chain_traverse(ChainObject *self, visitproc visit, void *arg)
+{
+    for (int i = 0; i < self->n; i++)
+        Py_VISIT(self->entries[i].value);
+    return 0;
+}
+
+static int
+chain_clear(ChainObject *self)
+{
+    for (int i = 0; i < self->n; i++)
+        Py_CLEAR(self->entries[i].value);
+    self->n = 0;
+    return 0;
+}
+
+static void
+chain_dealloc(ChainObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    chain_clear(self);
+    PyMem_Free(self->entries);
+    PyObject_GC_Del(self);
+}
+
+static PyTypeObject ChainType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._accel.storage_mvstore._Chain",
+    .tp_basicsize = sizeof(ChainObject),
+    .tp_dealloc = (destructor)chain_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_traverse = (traverseproc)chain_traverse,
+    .tp_clear = (inquiry)chain_clear,
+};
+
+/* Index of exact `version`, or -1. */
+static int
+chain_index(ChainObject *chain, long long version)
+{
+    for (int i = chain->n - 1; i >= 0; i--) {
+        if (chain->entries[i].version == version)
+            return i;
+        if (chain->entries[i].version < version)
+            return -1;
+    }
+    return -1;
+}
+
+/* Index of the largest entry with version <= bound, or -1. */
+static int
+chain_max_leq(ChainObject *chain, long long bound)
+{
+    for (int i = chain->n - 1; i >= 0; i--) {
+        if (chain->entries[i].version <= bound)
+            return i;
+    }
+    return -1;
+}
+
+/* Insert (version, value) keeping ascending order; steals no reference
+ * (increfs value itself).  Returns 0/-1. */
+static int
+chain_insert(ChainObject *chain, long long version, PyObject *value)
+{
+    if (chain->n == chain->cap) {
+        int cap = chain->cap ? chain->cap * 2 : 4;
+        VEntry *grown = PyMem_Realloc(chain->entries,
+                                      (size_t)cap * sizeof(VEntry));
+        if (grown == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        chain->entries = grown;
+        chain->cap = cap;
+    }
+    int pos = chain->n;
+    while (pos > 0 && chain->entries[pos - 1].version > version) {
+        chain->entries[pos] = chain->entries[pos - 1];
+        pos--;
+    }
+    Py_INCREF(value);
+    chain->entries[pos].version = version;
+    chain->entries[pos].value = value;
+    chain->n++;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* MVStore                                                             */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *chains;           /* dict: key -> ChainObject */
+    long long max_live_versions;
+    long long dual_writes;
+    long long total_writes;
+} MVStoreObject;
+
+static int
+MVStore_init(MVStoreObject *self, PyObject *args, PyObject *kwds)
+{
+    if ((args && PyTuple_GET_SIZE(args)) || (kwds && PyDict_GET_SIZE(kwds))) {
+        PyErr_SetString(PyExc_TypeError, "MVStore() takes no arguments");
+        return -1;
+    }
+    PyObject *chains = PyDict_New();
+    if (chains == NULL)
+        return -1;
+    Py_XSETREF(self->chains, chains);
+    self->max_live_versions = 0;
+    self->dual_writes = 0;
+    self->total_writes = 0;
+    return 0;
+}
+
+static int
+MVStore_traverse(MVStoreObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->chains);
+    return 0;
+}
+
+static int
+MVStore_clear_slots(MVStoreObject *self)
+{
+    Py_CLEAR(self->chains);
+    return 0;
+}
+
+static void
+MVStore_dealloc(MVStoreObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    MVStore_clear_slots(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static ChainObject *
+store_chain(MVStoreObject *self, PyObject *key)
+{
+    /* Borrowed reference or NULL (with error set only on real failure). */
+    PyObject *chain = PyDict_GetItemWithError(self->chains, key);
+    return (ChainObject *)chain;
+}
+
+static void
+note_chain_size(MVStoreObject *self, ChainObject *chain)
+{
+    if (chain->n > self->max_live_versions)
+        self->max_live_versions = chain->n;
+}
+
+static int
+as_version(PyObject *obj, long long *out)
+{
+    long long v = PyLong_AsLongLong(obj);
+    if (v == -1 && PyErr_Occurred())
+        return -1;
+    *out = v;
+    return 0;
+}
+
+static int
+MVStore_contains(MVStoreObject *self, PyObject *key)
+{
+    return PyDict_Contains(self->chains, key);
+}
+
+static PyObject *
+MVStore_keys(MVStoreObject *self, PyObject *unused)
+{
+    return PyObject_CallMethod(self->chains, "keys", NULL);
+}
+
+static PyObject *
+MVStore_versions(MVStoreObject *self, PyObject *key)
+{
+    ChainObject *chain = store_chain(self, key);
+    if (chain == NULL && PyErr_Occurred())
+        return NULL;
+    int n = chain ? chain->n : 0;
+    PyObject *list = PyList_New(n);
+    if (list == NULL)
+        return NULL;
+    for (int i = 0; i < n; i++) {
+        PyObject *num = PyLong_FromLongLong(chain->entries[i].version);
+        if (num == NULL) {
+            Py_DECREF(list);
+            return NULL;
+        }
+        PyList_SET_ITEM(list, i, num);
+    }
+    return list;
+}
+
+static PyObject *
+MVStore_exists(MVStoreObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "exists() takes exactly 2 arguments (%zd given)", nargs);
+        return NULL;
+    }
+    long long version;
+    if (as_version(args[1], &version) < 0)
+        return NULL;
+    ChainObject *chain = store_chain(self, args[0]);
+    if (chain == NULL && PyErr_Occurred())
+        return NULL;
+    return PyBool_FromLong(chain != NULL && chain_index(chain, version) >= 0);
+}
+
+static PyObject *
+MVStore_exists_above(MVStoreObject *self, PyObject *const *args,
+                     Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "exists_above() takes exactly 2 arguments (%zd given)",
+                     nargs);
+        return NULL;
+    }
+    long long version;
+    if (as_version(args[1], &version) < 0)
+        return NULL;
+    ChainObject *chain = store_chain(self, args[0]);
+    if (chain == NULL && PyErr_Occurred())
+        return NULL;
+    return PyBool_FromLong(
+        chain != NULL && chain->n > 0 &&
+        chain->entries[chain->n - 1].version > version);
+}
+
+static PyObject *
+MVStore_get_exact(MVStoreObject *self, PyObject *const *args,
+                  Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "get_exact() takes exactly 2 arguments (%zd given)",
+                     nargs);
+        return NULL;
+    }
+    long long version;
+    if (as_version(args[1], &version) < 0)
+        return NULL;
+    ChainObject *chain = store_chain(self, args[0]);
+    if (chain == NULL && PyErr_Occurred())
+        return NULL;
+    int idx = chain ? chain_index(chain, version) : -1;
+    if (idx < 0)
+        return raise_keyed(&missing_version_cls, "MissingVersionError",
+                           args[0], version);
+    PyObject *value = chain->entries[idx].value;
+    Py_INCREF(value);
+    return value;
+}
+
+static PyObject *raise_sentinel = NULL;  /* module-private default marker */
+
+/* Minimal fastcall+keywords parser: fill out[0..2] from positionals then
+ * keywords (names must match one of `names`), requiring the first
+ * `required` slots.  Optional slots keep their preset value. */
+static int
+parse_fastcall_kw(const char *fname, const char *const names[3],
+                  PyObject *const *args, Py_ssize_t nargs,
+                  PyObject *kwnames, Py_ssize_t required, PyObject *out[3])
+{
+    if (nargs > 3) {
+        PyErr_Format(PyExc_TypeError,
+                     "%s() takes at most 3 arguments (%zd given)",
+                     fname, nargs);
+        return 0;
+    }
+    for (Py_ssize_t i = 0; i < nargs; i++)
+        out[i] = args[i];
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    for (Py_ssize_t k = 0; k < nkw; k++) {
+        PyObject *name = PyTuple_GET_ITEM(kwnames, k);
+        int matched = 0;
+        for (int slot = 0; slot < 3 && names[slot] != NULL; slot++) {
+            if (PyUnicode_CompareWithASCIIString(name, names[slot]) == 0) {
+                if (slot < nargs || out[slot] != NULL) {
+                    PyErr_Format(PyExc_TypeError,
+                                 "%s() got multiple values for argument "
+                                 "'%s'", fname, names[slot]);
+                    return 0;
+                }
+                out[slot] = args[nargs + k];
+                matched = 1;
+                break;
+            }
+        }
+        if (!matched) {
+            PyErr_Format(PyExc_TypeError,
+                         "%s() got an unexpected keyword argument %R",
+                         fname, name);
+            return 0;
+        }
+    }
+    for (Py_ssize_t i = 0; i < required; i++) {
+        if (out[i] == NULL) {
+            PyErr_Format(PyExc_TypeError,
+                         "%s() missing required argument '%s'",
+                         fname, names[i]);
+            return 0;
+        }
+    }
+    return 1;
+}
+
+static PyObject *
+MVStore_read_max_leq(MVStoreObject *self, PyObject *const *args,
+                     Py_ssize_t nargs, PyObject *kwnames)
+{
+    static const char *const names[3] = {"key", "version", "default"};
+    PyObject *out[3] = {NULL, NULL, NULL};
+    if (!parse_fastcall_kw("read_max_leq", names, args, nargs, kwnames,
+                           2, out))
+        return NULL;
+    PyObject *key = out[0], *version_obj = out[1];
+    PyObject *dflt = out[2] ? out[2] : raise_sentinel;
+    long long version;
+    if (as_version(version_obj, &version) < 0)
+        return NULL;
+    ChainObject *chain = store_chain(self, key);
+    if (chain == NULL && PyErr_Occurred())
+        return NULL;
+    if (chain != NULL && chain->n > 0) {
+        int idx = chain_max_leq(chain, version);
+        if (idx >= 0) {
+            PyObject *value = chain->entries[idx].value;
+            Py_INCREF(value);
+            return value;
+        }
+    }
+    if (dflt == raise_sentinel)
+        return raise_keyed(&missing_item_cls, "MissingItemError",
+                           key, version);
+    Py_INCREF(dflt);
+    return dflt;
+}
+
+static PyObject *
+MVStore_version_max_leq(MVStoreObject *self, PyObject *const *args,
+                        Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "version_max_leq() takes exactly 2 arguments "
+                     "(%zd given)", nargs);
+        return NULL;
+    }
+    long long version;
+    if (as_version(args[1], &version) < 0)
+        return NULL;
+    ChainObject *chain = store_chain(self, args[0]);
+    if (chain == NULL && PyErr_Occurred())
+        return NULL;
+    int idx = (chain && chain->n) ? chain_max_leq(chain, version) : -1;
+    if (idx < 0)
+        Py_RETURN_NONE;
+    return PyLong_FromLongLong(chain->entries[idx].version);
+}
+
+static PyObject *
+MVStore_load(MVStoreObject *self, PyObject *const *args, Py_ssize_t nargs,
+             PyObject *kwnames)
+{
+    static const char *const names[3] = {"key", "value", "version"};
+    PyObject *out[3] = {NULL, NULL, NULL};
+    if (!parse_fastcall_kw("load", names, args, nargs, kwnames, 2, out))
+        return NULL;
+    PyObject *key = out[0], *value = out[1], *version_obj = out[2];
+    long long version = 0;
+    if (version_obj != NULL && as_version(version_obj, &version) < 0)
+        return NULL;
+    ChainObject *chain = store_chain(self, key);
+    if (chain == NULL) {
+        if (PyErr_Occurred())
+            return NULL;
+        chain = chain_new();
+        if (chain == NULL)
+            return NULL;
+        if (chain_insert(chain, version, value) < 0 ||
+            PyDict_SetItem(self->chains, key, (PyObject *)chain) < 0) {
+            Py_DECREF(chain);
+            return NULL;
+        }
+        Py_DECREF(chain);
+        if (self->max_live_versions < 1)
+            self->max_live_versions = 1;
+        Py_RETURN_NONE;
+    }
+    if (chain_index(chain, version) >= 0) {
+        PyObject *cls = get_error(&storage_error_cls, "StorageError");
+        if (cls == NULL)
+            return NULL;
+        PyObject *msg = PyUnicode_FromFormat(
+            "duplicate load of %R version %lld", key, version);
+        if (msg == NULL)
+            return NULL;
+        PyErr_SetObject(cls, msg);
+        Py_DECREF(msg);
+        return NULL;
+    }
+    if (chain_insert(chain, version, value) < 0)
+        return NULL;
+    note_chain_size(self, chain);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+MVStore_ensure_version(MVStoreObject *self, PyObject *const *args,
+                       Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "ensure_version() takes exactly 2 arguments "
+                     "(%zd given)", nargs);
+        return NULL;
+    }
+    PyObject *key = args[0];
+    long long version;
+    if (as_version(args[1], &version) < 0)
+        return NULL;
+    ChainObject *chain = store_chain(self, key);
+    if (chain == NULL) {
+        if (PyErr_Occurred())
+            return NULL;
+        chain = chain_new();
+        if (chain == NULL)
+            return NULL;
+        if (chain_insert(chain, version, Py_None) < 0 ||
+            PyDict_SetItem(self->chains, key, (PyObject *)chain) < 0) {
+            Py_DECREF(chain);
+            return NULL;
+        }
+        Py_DECREF(chain);
+        if (self->max_live_versions < 1)
+            self->max_live_versions = 1;
+        Py_RETURN_TRUE;
+    }
+    if (chain_index(chain, version) >= 0)
+        Py_RETURN_FALSE;
+    int base = chain_max_leq(chain, version);
+    PyObject *value = base >= 0 ? chain->entries[base].value : Py_None;
+    if (chain_insert(chain, version, value) < 0)
+        return NULL;
+    note_chain_size(self, chain);
+    Py_RETURN_TRUE;
+}
+
+static PyObject *apply_name = NULL;  /* interned "apply" */
+
+static int
+apply_operation(ChainObject *chain, int idx, PyObject *operation)
+{
+    PyObject *fresh = PyObject_CallMethodOneArg(
+        operation, apply_name, chain->entries[idx].value);
+    if (fresh == NULL)
+        return -1;
+    Py_SETREF(chain->entries[idx].value, fresh);
+    return 0;
+}
+
+static PyObject *
+MVStore_apply_geq(MVStoreObject *self, PyObject *const *args,
+                  Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_Format(PyExc_TypeError,
+                     "apply_geq() takes exactly 3 arguments (%zd given)",
+                     nargs);
+        return NULL;
+    }
+    PyObject *key = args[0], *operation = args[2];
+    long long version;
+    if (as_version(args[1], &version) < 0)
+        return NULL;
+    ChainObject *chain = store_chain(self, key);
+    if (chain == NULL && PyErr_Occurred())
+        return NULL;
+    int idx = chain ? chain_index(chain, version) : -1;
+    if (idx < 0)
+        return raise_keyed(&missing_version_cls, "MissingVersionError",
+                           key, version);
+    int count = chain->n - idx;
+    PyObject *written = PyTuple_New(count);
+    if (written == NULL)
+        return NULL;
+    for (int i = idx; i < chain->n; i++) {
+        if (apply_operation(chain, i, operation) < 0) {
+            Py_DECREF(written);
+            return NULL;
+        }
+        PyObject *num = PyLong_FromLongLong(chain->entries[i].version);
+        if (num == NULL) {
+            Py_DECREF(written);
+            return NULL;
+        }
+        PyTuple_SET_ITEM(written, i - idx, num);
+    }
+    self->total_writes += count;
+    if (count > 1)
+        self->dual_writes++;
+    return written;
+}
+
+static PyObject *
+MVStore_apply_exact(MVStoreObject *self, PyObject *const *args,
+                    Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_Format(PyExc_TypeError,
+                     "apply_exact() takes exactly 3 arguments (%zd given)",
+                     nargs);
+        return NULL;
+    }
+    PyObject *key = args[0], *operation = args[2];
+    long long version;
+    if (as_version(args[1], &version) < 0)
+        return NULL;
+    ChainObject *chain = store_chain(self, key);
+    if (chain == NULL && PyErr_Occurred())
+        return NULL;
+    int idx = chain ? chain_index(chain, version) : -1;
+    if (idx < 0)
+        return raise_keyed(&missing_version_cls, "MissingVersionError",
+                           key, version);
+    if (apply_operation(chain, idx, operation) < 0)
+        return NULL;
+    self->total_writes++;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+MVStore_collect(MVStoreObject *self, PyObject *arg)
+{
+    long long read_version;
+    if (as_version(arg, &read_version) < 0)
+        return NULL;
+    long long dropped = 0;
+    Py_ssize_t pos = 0;
+    PyObject *key, *chain_obj;
+    while (PyDict_Next(self->chains, &pos, &key, &chain_obj)) {
+        ChainObject *chain = (ChainObject *)chain_obj;
+        if (chain->n == 0)
+            continue;
+        if (chain->entries[chain->n - 1].version < read_version) {
+            /* Whole chain below the new read version: rename the head
+             * (the chain max) to read_version, drop everything else. */
+            PyObject *value = chain->entries[chain->n - 1].value;
+            Py_INCREF(value);
+            dropped += chain->n;
+            for (int i = 0; i < chain->n; i++)
+                Py_CLEAR(chain->entries[i].value);
+            chain->n = 0;
+            if (chain_insert(chain, read_version, value) < 0) {
+                Py_DECREF(value);
+                return NULL;
+            }
+            Py_DECREF(value);
+            continue;
+        }
+        /* First index at or above read_version (exists: the tail is). */
+        int ge = 0;
+        while (chain->entries[ge].version < read_version)
+            ge++;
+        if (ge == 0)
+            continue;
+        int has_exact = chain->entries[ge].version == read_version;
+        PyObject *carry = NULL;
+        if (!has_exact) {
+            carry = chain->entries[ge - 1].value;
+            Py_INCREF(carry);
+        }
+        for (int i = 0; i < ge; i++)
+            Py_CLEAR(chain->entries[i].value);
+        int remaining = chain->n - ge;
+        memmove(chain->entries, chain->entries + ge,
+                (size_t)remaining * sizeof(VEntry));
+        chain->n = remaining;
+        dropped += ge;
+        if (carry != NULL) {
+            if (chain_insert(chain, read_version, carry) < 0) {
+                Py_DECREF(carry);
+                return NULL;
+            }
+            Py_DECREF(carry);
+        }
+    }
+    return PyLong_FromLongLong(dropped);
+}
+
+static PyObject *
+MVStore_live_version_histogram(MVStoreObject *self, PyObject *unused)
+{
+    PyObject *histogram = PyDict_New();
+    if (histogram == NULL)
+        return NULL;
+    Py_ssize_t pos = 0;
+    PyObject *key, *chain_obj;
+    while (PyDict_Next(self->chains, &pos, &key, &chain_obj)) {
+        ChainObject *chain = (ChainObject *)chain_obj;
+        PyObject *size = PyLong_FromLong(chain->n);
+        if (size == NULL)
+            goto fail;
+        PyObject *count = PyDict_GetItemWithError(histogram, size);
+        if (count == NULL && PyErr_Occurred()) {
+            Py_DECREF(size);
+            goto fail;
+        }
+        PyObject *bumped = PyLong_FromLong(
+            count ? PyLong_AsLong(count) + 1 : 1);
+        if (bumped == NULL ||
+            PyDict_SetItem(histogram, size, bumped) < 0) {
+            Py_XDECREF(bumped);
+            Py_DECREF(size);
+            goto fail;
+        }
+        Py_DECREF(bumped);
+        Py_DECREF(size);
+    }
+    return histogram;
+fail:
+    Py_DECREF(histogram);
+    return NULL;
+}
+
+static PyObject *
+MVStore_snapshot(MVStoreObject *self, PyObject *unused)
+{
+    PyObject *snapshot = PyDict_New();
+    if (snapshot == NULL)
+        return NULL;
+    Py_ssize_t pos = 0;
+    PyObject *key, *chain_obj;
+    while (PyDict_Next(self->chains, &pos, &key, &chain_obj)) {
+        ChainObject *chain = (ChainObject *)chain_obj;
+        PyObject *copy = PyDict_New();
+        if (copy == NULL)
+            goto fail;
+        for (int i = 0; i < chain->n; i++) {
+            PyObject *num = PyLong_FromLongLong(chain->entries[i].version);
+            if (num == NULL ||
+                PyDict_SetItem(copy, num, chain->entries[i].value) < 0) {
+                Py_XDECREF(num);
+                Py_DECREF(copy);
+                goto fail;
+            }
+            Py_DECREF(num);
+        }
+        if (PyDict_SetItem(snapshot, key, copy) < 0) {
+            Py_DECREF(copy);
+            goto fail;
+        }
+        Py_DECREF(copy);
+    }
+    return snapshot;
+fail:
+    Py_DECREF(snapshot);
+    return NULL;
+}
+
+static PyMethodDef MVStore_methods[] = {
+    {"keys", (PyCFunction)MVStore_keys, METH_NOARGS,
+     "View of the stored keys."},
+    {"versions", (PyCFunction)MVStore_versions, METH_O,
+     "Sorted list of live versions of key (empty if absent)."},
+    {"exists", (PyCFunction)MVStore_exists, METH_FASTCALL,
+     "Does key exist at exactly version?"},
+    {"exists_above", (PyCFunction)MVStore_exists_above, METH_FASTCALL,
+     "Does any version of key strictly greater than version exist?"},
+    {"get_exact", (PyCFunction)MVStore_get_exact, METH_FASTCALL,
+     "Value of key at exactly version."},
+    {"read_max_leq", (PyCFunction)MVStore_read_max_leq,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Value at the maximum existing version of key not above version."},
+    {"version_max_leq", (PyCFunction)MVStore_version_max_leq, METH_FASTCALL,
+     "The maximum existing version of key not above version."},
+    {"load", (PyCFunction)MVStore_load, METH_FASTCALL | METH_KEYWORDS,
+     "Install an initial value (bulk load before the simulation starts)."},
+    {"ensure_version", (PyCFunction)MVStore_ensure_version, METH_FASTCALL,
+     "Atomically check-and-create key at version (copy-on-update)."},
+    {"apply_geq", (PyCFunction)MVStore_apply_geq, METH_FASTCALL,
+     "Apply operation to every live version of key >= version."},
+    {"apply_exact", (PyCFunction)MVStore_apply_exact, METH_FASTCALL,
+     "Apply operation to exactly one version (NC3V step 4)."},
+    {"collect", (PyCFunction)MVStore_collect, METH_O,
+     "Garbage-collect versions older than the new read version."},
+    {"live_version_histogram", (PyCFunction)MVStore_live_version_histogram,
+     METH_NOARGS, "Map number of live versions -> count of keys."},
+    {"snapshot", (PyCFunction)MVStore_snapshot, METH_NOARGS,
+     "Deep-enough copy of the whole store (values are immutable)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef MVStore_members[] = {
+    {"max_live_versions", T_LONGLONG,
+     offsetof(MVStoreObject, max_live_versions), 0,
+     "Highest number of simultaneously live versions ever seen."},
+    {"dual_writes", T_LONGLONG, offsetof(MVStoreObject, dual_writes), 0,
+     "apply_geq calls that touched more than one version."},
+    {"total_writes", T_LONGLONG, offsetof(MVStoreObject, total_writes), 0,
+     "Total number of version applications performed."},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PySequenceMethods MVStore_as_sequence = {
+    .sq_contains = (objobjproc)MVStore_contains,
+};
+
+static PyTypeObject MVStoreType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.storage.mvstore.MVStore",
+    .tp_basicsize = sizeof(MVStoreObject),
+    .tp_dealloc = (destructor)MVStore_dealloc,
+    .tp_as_sequence = &MVStore_as_sequence,
+    .tp_flags = (Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE |
+                 Py_TPFLAGS_HAVE_GC),
+    .tp_doc = "A per-node store mapping key -> {version -> value} "
+              "(compiled).",
+    .tp_traverse = (traverseproc)MVStore_traverse,
+    .tp_clear = (inquiry)MVStore_clear_slots,
+    .tp_methods = MVStore_methods,
+    .tp_members = MVStore_members,
+    .tp_init = (initproc)MVStore_init,
+    .tp_new = PyType_GenericNew,
+};
+
+static struct PyModuleDef mvstore_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._accel.storage_mvstore",
+    .m_doc = "Compiled twin of repro.storage.mvstore.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit_storage_mvstore(void)
+{
+    apply_name = PyUnicode_InternFromString("apply");
+    if (apply_name == NULL)
+        return NULL;
+    raise_sentinel = PyObject_CallObject((PyObject *)&PyBaseObject_Type,
+                                         NULL);
+    if (raise_sentinel == NULL)
+        return NULL;
+    if (PyType_Ready(&ChainType) < 0 || PyType_Ready(&MVStoreType) < 0)
+        return NULL;
+    PyObject *module = PyModule_Create(&mvstore_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&MVStoreType);
+    if (PyModule_AddObject(module, "MVStore", (PyObject *)&MVStoreType) < 0) {
+        Py_DECREF(&MVStoreType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

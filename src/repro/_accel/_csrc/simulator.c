@@ -1,0 +1,848 @@
+/* Compiled twin of repro.sim.simulator (the "ckernel" accel backend).
+ *
+ * Same two-queue design as the pure Simulator — a binary heap for
+ * positive-delay callbacks plus a FIFO ring for zero-delay ones — but
+ * with C struct entries {time, seq, callback, args} instead of Python
+ * tuples, so the run loop never allocates or compares tuples.  Ordering
+ * is by (time, sequence): identical to the pure kernel and verified by
+ * the ReferenceSimulator differential suite under both builds.
+ *
+ * Event/Process/Timeout/AllOf/AnyOf remain the canonical (pure) classes:
+ * the factory methods resolve them lazily from repro.sim.events /
+ * repro.sim.process on first use, so whatever the module-selection shim
+ * installed there is what this simulator hands out.
+ *
+ * One normalization: timestamps are stored as C doubles, so `now` is
+ * always a float even when a caller passed an int to schedule_at (the
+ * pure kernel would propagate the int).  Numeric equality is unaffected.
+ *
+ * Entries are popped before their callbacks run and the queues are
+ * re-read from `self` on every iteration, so callbacks may freely
+ * schedule (growing/reallocating the arrays) mid-step.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+static PyObject *simulation_error_cls = NULL;
+static PyObject *event_cls = NULL;
+static PyObject *timeout_cls = NULL;
+static PyObject *process_cls = NULL;
+static PyObject *allof_cls = NULL;
+static PyObject *anyof_cls = NULL;
+static PyObject *empty_args = NULL;       /* shared () for no-arg callbacks */
+static PyObject *triggered_name = NULL;   /* interned "triggered" */
+
+static PyObject *
+resolve(PyObject **cache, const char *module, const char *name)
+{
+    if (*cache == NULL) {
+        PyObject *mod = PyImport_ImportModule(module);
+        if (mod == NULL)
+            return NULL;
+        *cache = PyObject_GetAttrString(mod, name);
+        Py_DECREF(mod);
+    }
+    return *cache;
+}
+
+static PyObject *
+sim_error(void)
+{
+    return resolve(&simulation_error_cls, "repro.errors", "SimulationError");
+}
+
+/* Raise SimulationError with a plain C-string message. */
+static PyObject *
+raise_sim_error(const char *message)
+{
+    PyObject *cls = sim_error();
+    if (cls == NULL)
+        return NULL;
+    PyErr_SetString(cls, message);
+    return NULL;
+}
+
+/* Raise SimulationError with an already-built message object. */
+static PyObject *
+raise_sim_error_obj(PyObject *message)
+{
+    if (message == NULL)
+        return NULL;  /* allocation failed; that error is already set */
+    PyObject *cls = sim_error();
+    if (cls != NULL)
+        PyErr_SetObject(cls, message);
+    Py_DECREF(message);
+    return NULL;
+}
+
+typedef struct {
+    double time;
+    long long seq;
+    PyObject *cb;       /* owned */
+    PyObject *args;     /* owned tuple */
+} SEntry;
+
+typedef struct {
+    PyObject_HEAD
+    double now;
+    long long sequence;
+    SEntry *heap;       /* binary heap ordered by (time, seq) */
+    int hn, hcap;
+    SEntry *fifo;       /* ring buffer; .time unused (== now by invariant) */
+    int fhead, fn, fcap;
+} SimulatorObject;
+
+/* ------------------------------------------------------------------ */
+/* Queue plumbing                                                      */
+/* ------------------------------------------------------------------ */
+
+static int
+entry_lt(const SEntry *a, const SEntry *b)
+{
+    return a->time < b->time || (a->time == b->time && a->seq < b->seq);
+}
+
+static int
+heap_push(SimulatorObject *self, SEntry entry)
+{
+    if (self->hn == self->hcap) {
+        int cap = self->hcap ? self->hcap * 2 : 16;
+        SEntry *grown = PyMem_Realloc(self->heap,
+                                      (size_t)cap * sizeof(SEntry));
+        if (grown == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        self->heap = grown;
+        self->hcap = cap;
+    }
+    int i = self->hn++;
+    SEntry *h = self->heap;
+    while (i > 0) {
+        int parent = (i - 1) >> 1;
+        if (!entry_lt(&entry, &h[parent]))
+            break;
+        h[i] = h[parent];
+        i = parent;
+    }
+    h[i] = entry;
+    return 0;
+}
+
+static SEntry
+heap_pop(SimulatorObject *self)
+{
+    SEntry *h = self->heap;
+    SEntry top = h[0];
+    SEntry last = h[--self->hn];
+    int n = self->hn;
+    if (n > 0) {
+        int i = 0;
+        for (;;) {
+            int child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && entry_lt(&h[child + 1], &h[child]))
+                child++;
+            if (!entry_lt(&h[child], &last))
+                break;
+            h[i] = h[child];
+            i = child;
+        }
+        h[i] = last;
+    }
+    return top;
+}
+
+static int
+fifo_push(SimulatorObject *self, SEntry entry)
+{
+    if (self->fn == self->fcap) {
+        int cap = self->fcap ? self->fcap * 2 : 16;
+        SEntry *grown = PyMem_Malloc((size_t)cap * sizeof(SEntry));
+        if (grown == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        for (int i = 0; i < self->fn; i++)
+            grown[i] = self->fifo[(self->fhead + i) & (self->fcap - 1)];
+        PyMem_Free(self->fifo);
+        self->fifo = grown;
+        self->fcap = cap;
+        self->fhead = 0;
+    }
+    self->fifo[(self->fhead + self->fn) & (self->fcap - 1)] = entry;
+    self->fn++;
+    return 0;
+}
+
+static SEntry
+fifo_pop(SimulatorObject *self)
+{
+    SEntry entry = self->fifo[self->fhead];
+    self->fhead = (self->fhead + 1) & (self->fcap - 1);
+    self->fn--;
+    return entry;
+}
+
+/* Pack trailing fastcall arguments into an owned tuple. */
+static PyObject *
+pack_args(PyObject *const *args, Py_ssize_t start, Py_ssize_t nargs)
+{
+    Py_ssize_t count = nargs - start;
+    if (count <= 0) {
+        Py_INCREF(empty_args);
+        return empty_args;
+    }
+    PyObject *packed = PyTuple_New(count);
+    if (packed == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < count; i++) {
+        PyObject *arg = args[start + i];
+        Py_INCREF(arg);
+        PyTuple_SET_ITEM(packed, i, arg);
+    }
+    return packed;
+}
+
+/* Run one popped entry's callback; consumes the entry's references. */
+static int
+fire(SEntry entry)
+{
+    PyObject *result = PyObject_Call(entry.cb, entry.args, NULL);
+    Py_DECREF(entry.cb);
+    Py_DECREF(entry.args);
+    if (result == NULL)
+        return -1;
+    Py_DECREF(result);
+    return 0;
+}
+
+static void
+discard(SEntry entry)
+{
+    Py_DECREF(entry.cb);
+    Py_DECREF(entry.args);
+}
+
+/* ------------------------------------------------------------------ */
+/* Lifecycle                                                           */
+/* ------------------------------------------------------------------ */
+
+static int
+Simulator_init(SimulatorObject *self, PyObject *args, PyObject *kwds)
+{
+    if ((args && PyTuple_GET_SIZE(args)) || (kwds && PyDict_GET_SIZE(kwds))) {
+        PyErr_SetString(PyExc_TypeError, "Simulator() takes no arguments");
+        return -1;
+    }
+    self->now = 0.0;
+    self->sequence = 0;
+    return 0;
+}
+
+static int
+Simulator_traverse(SimulatorObject *self, visitproc visit, void *arg)
+{
+    for (int i = 0; i < self->hn; i++) {
+        Py_VISIT(self->heap[i].cb);
+        Py_VISIT(self->heap[i].args);
+    }
+    for (int i = 0; i < self->fn; i++) {
+        SEntry *entry = &self->fifo[(self->fhead + i) & (self->fcap - 1)];
+        Py_VISIT(entry->cb);
+        Py_VISIT(entry->args);
+    }
+    return 0;
+}
+
+static int
+Simulator_clear_queues(SimulatorObject *self)
+{
+    for (int i = 0; i < self->hn; i++) {
+        Py_CLEAR(self->heap[i].cb);
+        Py_CLEAR(self->heap[i].args);
+    }
+    self->hn = 0;
+    for (int i = 0; i < self->fn; i++) {
+        SEntry *entry = &self->fifo[(self->fhead + i) & (self->fcap - 1)];
+        Py_CLEAR(entry->cb);
+        Py_CLEAR(entry->args);
+    }
+    self->fn = 0;
+    self->fhead = 0;
+    return 0;
+}
+
+static void
+Simulator_dealloc(SimulatorObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    Simulator_clear_queues(self);
+    PyMem_Free(self->heap);
+    PyMem_Free(self->fifo);
+    self->heap = NULL;
+    self->fifo = NULL;
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* ------------------------------------------------------------------ */
+/* Scheduling primitives                                               */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+Simulator_schedule(SimulatorObject *self, PyObject *const *args,
+                   Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "schedule() takes at least 2 arguments (%zd given)",
+                     nargs);
+        return NULL;
+    }
+    double delay = PyFloat_AsDouble(args[0]);
+    if (delay == -1.0 && PyErr_Occurred())
+        return NULL;
+    SEntry entry;
+    entry.cb = args[1];
+    entry.args = pack_args(args, 2, nargs);
+    if (entry.args == NULL)
+        return NULL;
+    Py_INCREF(entry.cb);
+    if (delay <= 0.0) {
+        if (delay < 0.0) {
+            discard(entry);
+            return raise_sim_error_obj(
+                PyUnicode_FromFormat("negative delay: %R", args[0]));
+        }
+        entry.time = self->now;
+        entry.seq = ++self->sequence;
+        if (fifo_push(self, entry) < 0) {
+            discard(entry);
+            return NULL;
+        }
+        Py_RETURN_NONE;
+    }
+    entry.time = self->now + delay;
+    entry.seq = ++self->sequence;
+    if (heap_push(self, entry) < 0) {
+        discard(entry);
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Simulator_schedule_now(SimulatorObject *self, PyObject *const *args,
+                       Py_ssize_t nargs)
+{
+    if (nargs < 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_now() takes at least 1 argument (0 given)");
+        return NULL;
+    }
+    SEntry entry;
+    entry.cb = args[0];
+    entry.args = pack_args(args, 1, nargs);
+    if (entry.args == NULL)
+        return NULL;
+    Py_INCREF(entry.cb);
+    entry.time = self->now;
+    entry.seq = ++self->sequence;
+    if (fifo_push(self, entry) < 0) {
+        discard(entry);
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Simulator_schedule_at(SimulatorObject *self, PyObject *const *args,
+                      Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "schedule_at() takes at least 2 arguments (%zd given)",
+                     nargs);
+        return NULL;
+    }
+    double time = PyFloat_AsDouble(args[0]);
+    if (time == -1.0 && PyErr_Occurred())
+        return NULL;
+    SEntry entry;
+    entry.cb = args[1];
+    entry.args = pack_args(args, 2, nargs);
+    if (entry.args == NULL)
+        return NULL;
+    Py_INCREF(entry.cb);
+    if (time <= self->now) {
+        if (time < self->now) {
+            discard(entry);
+            PyObject *now_obj = PyFloat_FromDouble(self->now);
+            if (now_obj == NULL)
+                return NULL;
+            PyObject *msg = PyUnicode_FromFormat(
+                "schedule_at time %R is in the past (%R)",
+                args[0], now_obj);
+            Py_DECREF(now_obj);
+            return raise_sim_error_obj(msg);
+        }
+        entry.time = self->now;
+        entry.seq = ++self->sequence;
+        if (fifo_push(self, entry) < 0) {
+            discard(entry);
+            return NULL;
+        }
+        Py_RETURN_NONE;
+    }
+    entry.time = time;
+    entry.seq = ++self->sequence;
+    if (heap_push(self, entry) < 0) {
+        discard(entry);
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* Event/process factories (canonical classes, resolved lazily)        */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+Simulator_event(SimulatorObject *self, PyObject *unused)
+{
+    PyObject *cls = resolve(&event_cls, "repro.sim.events", "Event");
+    if (cls == NULL)
+        return NULL;
+    return PyObject_CallFunctionObjArgs(cls, (PyObject *)self, NULL);
+}
+
+static PyObject *
+Simulator_timeout(SimulatorObject *self, PyObject *const *args,
+                  Py_ssize_t nargs, PyObject *kwnames)
+{
+    if (nargs > 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "timeout() takes 1 or 2 arguments (%zd given)", nargs);
+        return NULL;
+    }
+    PyObject *delay = nargs >= 1 ? args[0] : NULL;
+    PyObject *value = nargs == 2 ? args[1] : NULL;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    for (Py_ssize_t k = 0; k < nkw; k++) {
+        PyObject *kwname = PyTuple_GET_ITEM(kwnames, k);
+        if (PyUnicode_CompareWithASCIIString(kwname, "value") == 0 &&
+            value == NULL) {
+            value = args[nargs + k];
+        }
+        else if (PyUnicode_CompareWithASCIIString(kwname, "delay") == 0 &&
+                 delay == NULL) {
+            delay = args[nargs + k];
+        }
+        else {
+            PyErr_Format(PyExc_TypeError,
+                         "timeout() got an unexpected keyword argument %R",
+                         kwname);
+            return NULL;
+        }
+    }
+    if (delay == NULL) {
+        PyErr_SetString(PyExc_TypeError,
+                        "timeout() missing required argument 'delay'");
+        return NULL;
+    }
+    PyObject *cls = resolve(&timeout_cls, "repro.sim.events", "Timeout");
+    if (cls == NULL)
+        return NULL;
+    return PyObject_CallFunctionObjArgs(cls, (PyObject *)self, delay,
+                                        value ? value : Py_None, NULL);
+}
+
+static PyObject *
+Simulator_process(SimulatorObject *self, PyObject *const *args,
+                  Py_ssize_t nargs, PyObject *kwnames)
+{
+    PyObject *cls = resolve(&process_cls, "repro.sim.process", "Process");
+    if (cls == NULL)
+        return NULL;
+    PyObject *generator = NULL, *name = NULL;
+    Py_ssize_t npos = nargs;
+    if (npos >= 1)
+        generator = args[0];
+    if (npos >= 2)
+        name = args[1];
+    if (npos > 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "process() takes at most 2 arguments (%zd given)", npos);
+        return NULL;
+    }
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    for (Py_ssize_t k = 0; k < nkw; k++) {
+        PyObject *kwname = PyTuple_GET_ITEM(kwnames, k);
+        if (PyUnicode_CompareWithASCIIString(kwname, "name") == 0 &&
+            name == NULL) {
+            name = args[npos + k];
+        }
+        else if (PyUnicode_CompareWithASCIIString(kwname, "generator") == 0 &&
+                 generator == NULL) {
+            generator = args[npos + k];
+        }
+        else {
+            PyErr_Format(PyExc_TypeError,
+                         "process() got an unexpected keyword argument %R",
+                         kwname);
+            return NULL;
+        }
+    }
+    if (generator == NULL) {
+        PyErr_SetString(PyExc_TypeError,
+                        "process() missing required argument 'generator'");
+        return NULL;
+    }
+    if (name == NULL)
+        return PyObject_CallFunctionObjArgs(cls, (PyObject *)self,
+                                            generator, NULL);
+    return PyObject_CallFunctionObjArgs(cls, (PyObject *)self, generator,
+                                        name, NULL);
+}
+
+static PyObject *
+Simulator_all_of(SimulatorObject *self, PyObject *events)
+{
+    PyObject *cls = resolve(&allof_cls, "repro.sim.events", "AllOf");
+    if (cls == NULL)
+        return NULL;
+    return PyObject_CallFunctionObjArgs(cls, (PyObject *)self, events, NULL);
+}
+
+static PyObject *
+Simulator_any_of(SimulatorObject *self, PyObject *events)
+{
+    PyObject *cls = resolve(&anyof_cls, "repro.sim.events", "AnyOf");
+    if (cls == NULL)
+        return NULL;
+    return PyObject_CallFunctionObjArgs(cls, (PyObject *)self, events, NULL);
+}
+
+/* ------------------------------------------------------------------ */
+/* Execution                                                           */
+/* ------------------------------------------------------------------ */
+
+/* One scheduler step.  Returns 1 if a callback ran, 0 if the queues were
+ * empty, -1 on error. */
+static int
+step_once(SimulatorObject *self)
+{
+    if (self->fn) {
+        /* Every fifo entry is due at exactly `now`; a heap entry beats it
+         * only when due at the same time with an older sequence number. */
+        if (self->hn) {
+            SEntry *head = &self->heap[0];
+            if (head->time <= self->now &&
+                head->seq < self->fifo[self->fhead].seq) {
+                if (fire(heap_pop(self)) < 0)
+                    return -1;
+                return 1;
+            }
+        }
+        if (fire(fifo_pop(self)) < 0)
+            return -1;
+        return 1;
+    }
+    if (!self->hn)
+        return 0;
+    SEntry entry = heap_pop(self);
+    if (entry.time < self->now) {
+        discard(entry);
+        raise_sim_error("event heap time went backwards");
+        return -1;
+    }
+    self->now = entry.time;
+    if (fire(entry) < 0)
+        return -1;
+    return 1;
+}
+
+static PyObject *
+Simulator_step(SimulatorObject *self, PyObject *unused)
+{
+    int ran = step_once(self);
+    if (ran < 0)
+        return NULL;
+    return PyBool_FromLong(ran);
+}
+
+static PyObject *
+Simulator_run(SimulatorObject *self, PyObject *const *args, Py_ssize_t nargs,
+              PyObject *kwnames)
+{
+    PyObject *until_obj = NULL;
+    if (nargs > 1) {
+        PyErr_Format(PyExc_TypeError,
+                     "run() takes at most 1 argument (%zd given)", nargs);
+        return NULL;
+    }
+    if (nargs == 1)
+        until_obj = args[0];
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    for (Py_ssize_t k = 0; k < nkw; k++) {
+        PyObject *kwname = PyTuple_GET_ITEM(kwnames, k);
+        if (PyUnicode_CompareWithASCIIString(kwname, "until") == 0 &&
+            until_obj == NULL) {
+            until_obj = args[nargs + k];
+        }
+        else {
+            PyErr_Format(PyExc_TypeError,
+                         "run() got an unexpected keyword argument %R",
+                         kwname);
+            return NULL;
+        }
+    }
+    if (until_obj == NULL || until_obj == Py_None) {
+        for (;;) {
+            int ran = step_once(self);
+            if (ran < 0)
+                return NULL;
+            if (ran == 0)
+                Py_RETURN_NONE;
+        }
+    }
+    double until = PyFloat_AsDouble(until_obj);
+    if (until == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (until < self->now) {
+        PyObject *now_obj = PyFloat_FromDouble(self->now);
+        if (now_obj == NULL)
+            return NULL;
+        PyObject *msg = PyUnicode_FromFormat(
+            "run until %R is in the past (%R)", until_obj, now_obj);
+        Py_DECREF(now_obj);
+        return raise_sim_error_obj(msg);
+    }
+    for (;;) {
+        if (self->fn) {
+            if (step_once(self) < 0)
+                return NULL;
+            continue;
+        }
+        if (self->hn && self->heap[0].time <= until) {
+            if (step_once(self) < 0)
+                return NULL;
+            continue;
+        }
+        break;
+    }
+    self->now = until;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Simulator_run_until_triggered(SimulatorObject *self, PyObject *const *args,
+                              Py_ssize_t nargs, PyObject *kwnames)
+{
+    if (nargs > 2) {
+        PyErr_Format(PyExc_TypeError,
+                     "run_until_triggered() takes 1 or 2 arguments "
+                     "(%zd given)", nargs);
+        return NULL;
+    }
+    PyObject *event = nargs >= 1 ? args[0] : NULL;
+    PyObject *limit_obj = nargs == 2 ? args[1] : NULL;
+    Py_ssize_t nkw = kwnames ? PyTuple_GET_SIZE(kwnames) : 0;
+    for (Py_ssize_t k = 0; k < nkw; k++) {
+        PyObject *kwname = PyTuple_GET_ITEM(kwnames, k);
+        if (PyUnicode_CompareWithASCIIString(kwname, "limit") == 0 &&
+            limit_obj == NULL) {
+            limit_obj = args[nargs + k];
+        }
+        else if (PyUnicode_CompareWithASCIIString(kwname, "event") == 0 &&
+                 event == NULL) {
+            event = args[nargs + k];
+        }
+        else {
+            PyErr_Format(PyExc_TypeError,
+                         "run_until_triggered() got an unexpected keyword "
+                         "argument %R", kwname);
+            return NULL;
+        }
+    }
+    if (event == NULL) {
+        PyErr_SetString(PyExc_TypeError,
+                        "run_until_triggered() missing required argument "
+                        "'event'");
+        return NULL;
+    }
+    double limit = Py_HUGE_VAL;
+    if (limit_obj != NULL) {
+        limit = PyFloat_AsDouble(limit_obj);
+        if (limit == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    for (;;) {
+        PyObject *flag = PyObject_GetAttr(event, triggered_name);
+        if (flag == NULL)
+            return NULL;
+        int triggered = PyObject_IsTrue(flag);
+        Py_DECREF(flag);
+        if (triggered < 0)
+            return NULL;
+        if (triggered)
+            Py_RETURN_NONE;
+        if (!self->fn) {
+            if (!self->hn)
+                return raise_sim_error(
+                    "simulation drained before event triggered");
+            if (self->heap[0].time > limit) {
+                if (limit > self->now)
+                    self->now = limit;
+                PyObject *limit_repr = limit_obj
+                    ? PyObject_Repr(limit_obj)
+                    : PyUnicode_FromString("inf");
+                if (limit_repr == NULL)
+                    return NULL;
+                PyObject *msg = PyUnicode_FromFormat(
+                    "event not triggered by time limit %U "
+                    "(%lld callbacks pending)",
+                    limit_repr,
+                    (long long)self->hn + (long long)self->fn);
+                Py_DECREF(limit_repr);
+                return raise_sim_error_obj(msg);
+            }
+        }
+        if (step_once(self) < 0)
+            return NULL;
+    }
+}
+
+static PyObject *
+Simulator_peek_time(SimulatorObject *self, PyObject *unused)
+{
+    if (self->fn)
+        return PyFloat_FromDouble(self->now);
+    if (self->hn)
+        return PyFloat_FromDouble(self->heap[0].time);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Simulator_get_pending_count(SimulatorObject *self, void *closure)
+{
+    return PyLong_FromLongLong((long long)self->hn + (long long)self->fn);
+}
+
+static PyObject *
+Simulator_get_scheduled_count(SimulatorObject *self, void *closure)
+{
+    return PyLong_FromLongLong(self->sequence);
+}
+
+static PyMethodDef Simulator_methods[] = {
+    {"schedule", (PyCFunction)Simulator_schedule, METH_FASTCALL,
+     "Run callback(*args) after delay units of simulated time."},
+    {"schedule_now", (PyCFunction)Simulator_schedule_now, METH_FASTCALL,
+     "Run callback(*args) at the current time, after pending callbacks."},
+    {"schedule_at", (PyCFunction)Simulator_schedule_at, METH_FASTCALL,
+     "Run callback(*args) at absolute simulated time."},
+    {"event", (PyCFunction)Simulator_event, METH_NOARGS,
+     "Create a fresh untriggered event."},
+    {"timeout", (PyCFunction)Simulator_timeout,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Create an event that triggers after delay time units."},
+    {"process", (PyCFunction)Simulator_process,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Start a generator as a simulated process."},
+    {"all_of", (PyCFunction)Simulator_all_of, METH_O,
+     "Event that triggers when all of events have triggered."},
+    {"any_of", (PyCFunction)Simulator_any_of, METH_O,
+     "Event that triggers when any of events triggers."},
+    {"step", (PyCFunction)Simulator_step, METH_NOARGS,
+     "Execute the next scheduled callback; False if nothing was left."},
+    {"run", (PyCFunction)Simulator_run, METH_FASTCALL | METH_KEYWORDS,
+     "Run until the queues drain or the clock reaches `until`."},
+    {"run_until_triggered", (PyCFunction)Simulator_run_until_triggered,
+     METH_FASTCALL | METH_KEYWORDS,
+     "Run until event triggers (bounded by limit)."},
+    {"peek_time", (PyCFunction)Simulator_peek_time, METH_NOARGS,
+     "Simulated time of the next scheduled callback (None if idle)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyMemberDef Simulator_members[] = {
+    {"now", T_DOUBLE, offsetof(SimulatorObject, now), 0,
+     "Current simulated time."},
+    {NULL, 0, 0, 0, NULL},
+};
+
+static PyGetSetDef Simulator_getset[] = {
+    {"pending_count", (getter)Simulator_get_pending_count, NULL,
+     "Number of callbacks currently scheduled.", NULL},
+    {"scheduled_count", (getter)Simulator_get_scheduled_count, NULL,
+     "Total callbacks ever scheduled — the benchmarks' event counter.",
+     NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject SimulatorType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim.simulator.Simulator",
+    .tp_basicsize = sizeof(SimulatorObject),
+    .tp_dealloc = (destructor)Simulator_dealloc,
+    .tp_flags = (Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE |
+                 Py_TPFLAGS_HAVE_GC),
+    .tp_doc =
+        "A deterministic discrete-event simulator (compiled).\n"
+        "\n"
+        "Scheduled callbacks are ordered by (time, sequence_number) so "
+        "ties are\nbroken by scheduling order, never by hash or "
+        "identity.\n"
+        "\n"
+        "Example:\n"
+        "    >>> sim = Simulator()\n"
+        "    >>> def hello():\n"
+        "    ...     yield sim.timeout(5.0)\n"
+        "    ...     return sim.now\n"
+        "    >>> proc = sim.process(hello())\n"
+        "    >>> sim.run()\n"
+        "    >>> proc.value\n"
+        "    5.0\n",
+    .tp_traverse = (traverseproc)Simulator_traverse,
+    .tp_clear = (inquiry)Simulator_clear_queues,
+    .tp_methods = Simulator_methods,
+    .tp_members = Simulator_members,
+    .tp_getset = Simulator_getset,
+    .tp_init = (initproc)Simulator_init,
+    .tp_new = PyType_GenericNew,
+};
+
+static struct PyModuleDef simulator_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._accel.sim_simulator",
+    .m_doc = "Compiled twin of repro.sim.simulator.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit_sim_simulator(void)
+{
+    triggered_name = PyUnicode_InternFromString("triggered");
+    if (triggered_name == NULL)
+        return NULL;
+    empty_args = PyTuple_New(0);
+    if (empty_args == NULL)
+        return NULL;
+    if (PyType_Ready(&SimulatorType) < 0)
+        return NULL;
+    PyObject *module = PyModule_Create(&simulator_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&SimulatorType);
+    if (PyModule_AddObject(module, "Simulator",
+                           (PyObject *)&SimulatorType) < 0) {
+        Py_DECREF(&SimulatorType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

@@ -377,6 +377,21 @@ def cmd_paper(args) -> int:
     return 0 if ok else 1
 
 
+def _version_string() -> str:
+    """``repro X.Y.Z (build: ...)`` — reports which kernel build runs."""
+    import repro
+
+    mode = repro.build_mode()
+    if mode == "accel":
+        modules = ", ".join(
+            name.rsplit(".", 1)[-1] for name in repro.accelerated_modules()
+        )
+        build = f"accel/{repro.accel_backend()}: {modules}"
+    else:
+        build = "pure"
+    return f"repro {repro.__version__} (build: {build})"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -384,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Scalable Versioning in Distributed Databases "
             "with Commuting Updates' (ICDE 1997)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=_version_string(),
+        help="print version, kernel build mode, and accelerated modules",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 

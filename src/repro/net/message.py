@@ -15,6 +15,8 @@ import itertools
 import sys
 import typing
 
+__all__ = ["Message", "MessageKind"]
+
 # Kind constants are interned: every message carries one, and the stats /
 # mailbox dispatch paths key dicts by kind on every send, so identity-equal
 # strings let those lookups hit CPython's pointer-compare fast path.
@@ -128,3 +130,10 @@ class Message:
             f"Message(#{self.message_id} {self.kind} {self.src}->{self.dst} "
             f"@{self.sent_at:.3f})"
         )
+
+
+# --- accelerated-build hook (stripped from compiled mirrors) ----------
+from repro._accel import install as _accel_install  # noqa: E402
+
+_accel_install(globals())
+# --- end accelerated-build hook ---------------------------------------

@@ -22,8 +22,10 @@ from repro.errors import SimulationError
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import Simulator
 
+__all__ = ["Event", "Timeout", "Condition", "AllOf", "AnyOf"]
+
 # Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
-_PENDING = object()
+_PENDING: typing.Final[object] = object()
 
 
 class Event:
@@ -40,10 +42,10 @@ class Event:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: list = []
-        self._value = _PENDING
+        self.callbacks: typing.List[typing.Callable[["Event"], None]] = []
+        self._value: typing.Any = _PENDING
         self._exception: typing.Optional[BaseException] = None
-        self._scheduled = False
+        self._scheduled: bool = False
 
     @property
     def triggered(self) -> bool:
@@ -113,7 +115,9 @@ class Event:
         for callback in callbacks:
             callback(self)
 
-    def add_callback(self, callback) -> None:
+    def add_callback(
+        self, callback: typing.Callable[["Event"], None]
+    ) -> None:
         """Register ``callback(event)``; runs now if already triggered."""
         if (
             self._scheduled
@@ -200,3 +204,10 @@ class AnyOf(Condition):
             self.fail(event._exception)
             return
         self.succeed(event)
+
+
+# --- accelerated-build hook (stripped from compiled mirrors) ----------
+from repro._accel import install as _accel_install  # noqa: E402
+
+_accel_install(globals())
+# --- end accelerated-build hook ---------------------------------------

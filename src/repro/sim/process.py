@@ -17,6 +17,8 @@ from repro.sim.events import _PENDING, Event
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.simulator import Simulator
 
+__all__ = ["Process"]
+
 
 class Process(Event):
     """A running simulated activity driven by a generator.
@@ -97,3 +99,10 @@ class Process(Event):
             raise error
         self._waiting_on = target
         target.add_callback(self._on_event)
+
+
+# --- accelerated-build hook (stripped from compiled mirrors) ----------
+from repro._accel import install as _accel_install  # noqa: E402
+
+_accel_install(globals())
+# --- end accelerated-build hook ---------------------------------------

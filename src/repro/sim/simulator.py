@@ -40,6 +40,8 @@ from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
+__all__ = ["Simulator"]
+
 
 class Simulator:
     """A deterministic discrete-event simulator.
@@ -63,10 +65,10 @@ class Simulator:
     def __init__(self):
         self.now: float = 0.0
         #: (time, sequence, callback, args) entries with time > scheduling now.
-        self._heap: list = []
+        self._heap: typing.List[tuple] = []
         #: (sequence, callback, args) entries due at the current time.
-        self._fifo: deque = deque()
-        self._sequence = 0
+        self._fifo: typing.Deque[tuple] = deque()
+        self._sequence: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -260,3 +262,10 @@ class Simulator:
     def scheduled_count(self) -> int:
         """Total callbacks ever scheduled — the benchmarks' event counter."""
         return self._sequence
+
+
+# --- accelerated-build hook (stripped from compiled mirrors) ----------
+from repro._accel import install as _accel_install  # noqa: E402
+
+_accel_install(globals())
+# --- end accelerated-build hook ---------------------------------------

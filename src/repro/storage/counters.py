@@ -41,10 +41,12 @@ import typing
 
 from repro.errors import CounterError
 
+__all__ = ["CounterTable", "quiescent", "aggregate_quiescent"]
+
 #: Shared empty row returned by the zero-copy views for absent versions.
 #: Callers treat views as read-only, so one immutable-by-convention dict
 #: serves every miss without allocating.
-_EMPTY: typing.Dict[str, int] = {}
+_EMPTY: typing.Final[typing.Dict[str, int]] = {}
 
 
 class CounterTable:
@@ -54,7 +56,7 @@ class CounterTable:
                  "_comp_totals", "_gc_floor", "lost_increments")
 
     def __init__(self, node_id: str):
-        self.node_id = node_id
+        self.node_id: str = node_id
         self._requests: typing.Dict[int, typing.Dict[str, int]] = {}
         self._completions: typing.Dict[int, typing.Dict[str, int]] = {}
         # Aggregate totals per version, maintained incrementally so the
@@ -68,7 +70,7 @@ class CounterTable:
         # unsound quiescence detector collected a version that still had
         # stragglers in flight — the damage the C7 ablation measures.
         self._gc_floor: typing.Optional[int] = None
-        self.lost_increments = 0
+        self.lost_increments: int = 0
 
     # ------------------------------------------------------------------
     # Version lifecycle
@@ -267,3 +269,10 @@ def aggregate_quiescent(
     """
     return (sum(request_totals.values())
             == sum(completion_totals.values()))
+
+
+# --- accelerated-build hook (stripped from compiled mirrors) ----------
+from repro._accel import install as _accel_install  # noqa: E402
+
+_accel_install(globals())
+# --- end accelerated-build hook ---------------------------------------

@@ -34,7 +34,9 @@ import typing
 from repro.errors import MissingItemError, MissingVersionError, StorageError
 from repro.storage.values import Operation
 
-_RAISE = object()
+__all__ = ["MVStore"]
+
+_RAISE: typing.Final[object] = object()
 
 
 class MVStore:
@@ -48,11 +50,11 @@ class MVStore:
         #: Per-key maximum live version (kept in lockstep with ``_chains``).
         self._maxes: typing.Dict[typing.Hashable, int] = {}
         #: Highest number of simultaneously live versions ever seen (any key).
-        self.max_live_versions = 0
+        self.max_live_versions: int = 0
         #: Number of ``apply_geq`` calls that touched more than one version.
-        self.dual_writes = 0
+        self.dual_writes: int = 0
         #: Total number of version applications performed.
-        self.total_writes = 0
+        self.total_writes: int = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -270,5 +272,16 @@ class MVStore:
         return histogram
 
     def snapshot(self) -> typing.Dict[typing.Hashable, typing.Dict[int, typing.Any]]:
-        """Deep-enough copy of the whole store (values are immutable)."""
+        """Deep-enough copy of the whole store (values are immutable).
+
+        Inner-dict key order is unspecified (insertion order pure, version
+        order compiled); compare snapshots with ``==``, never by ordering.
+        """
         return {key: dict(chain) for key, chain in self._chains.items()}
+
+
+# --- accelerated-build hook (stripped from compiled mirrors) ----------
+from repro._accel import install as _accel_install  # noqa: E402
+
+_accel_install(globals())
+# --- end accelerated-build hook ---------------------------------------

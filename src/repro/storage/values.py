@@ -21,14 +21,32 @@ from __future__ import annotations
 
 import typing
 
+from repro._accel import mypyc_attr
 from repro.errors import StorageError
 
+__all__ = [
+    "Operation",
+    "Increment",
+    "Record",
+    "Unrecord",
+    "Assign",
+    "AssignUndo",
+    "apply_all",
+    "undo_operation",
+]
 
+
+@mypyc_attr(allow_interpreted_subclasses=True)
 class Operation:
-    """A state transformer applied to one data item."""
+    """A state transformer applied to one data item.
+
+    Workloads may define custom operations by subclassing; such
+    subclasses stay interpreted under an accelerated build (hence the
+    ``mypyc_attr`` escape hatch on the base class).
+    """
 
     #: Whether this operation commutes with every other commuting operation.
-    commutes = True
+    commutes: typing.ClassVar[bool] = True
 
     def apply(self, state):  # pragma: no cover - abstract
         """Return the new state produced by applying this op to ``state``."""
@@ -132,7 +150,7 @@ class Assign(Operation):
     at apply time.
     """
 
-    commutes = False
+    commutes: typing.ClassVar[bool] = False
 
     def __init__(self, value):
         self.value = value
@@ -154,7 +172,7 @@ class Assign(Operation):
 class AssignUndo(Operation):
     """Restore a captured previous state (inverse of a specific Assign)."""
 
-    commutes = False
+    commutes: typing.ClassVar[bool] = False
 
     def __init__(self, previous_state):
         self.previous_state = previous_state
@@ -190,3 +208,10 @@ def undo_operation(operation: Operation, previous_state) -> Operation:
     raise StorageError(
         f"operation {operation!r} is neither invertible nor undoable"
     )
+
+
+# --- accelerated-build hook (stripped from compiled mirrors) ----------
+from repro._accel import install as _accel_install  # noqa: E402
+
+_accel_install(globals())
+# --- end accelerated-build hook ---------------------------------------

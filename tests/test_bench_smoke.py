@@ -157,7 +157,10 @@ class TestCheckGate:
 
     @staticmethod
     def fresh(metrics, determinism):
-        return {"metrics": metrics, "determinism": determinism}
+        # Pin the build stamp so these synthetic comparisons stay legal
+        # (and deterministic) whatever kernel build the test process runs.
+        return {"metrics": metrics, "determinism": determinism,
+                "build": {"mode": "pure", "backend": None}}
 
     def test_passes_within_tolerance(self):
         fresh = self.fresh({"a_per_sec": 80.0, "b_per_sec": 1500.0},

@@ -8,6 +8,12 @@ execution order, identical clock readings at every callback, identical
 final clocks.  These tests drive randomized schedule programs — mixed
 zero/positive delays, re-entrant scheduling from inside callbacks, nested
 generator processes — through both kernels and compare full execution logs.
+
+When a compiled kernel build is present the whole differential suite runs
+twice — once against the pure-Python ``Simulator`` (from the loader's
+pre-swap snapshot) and once against the compiled twin — so the oracle
+covers both builds regardless of what ``REPRO_ACCEL`` selected for the
+ambient process.  Without a build the ``accel`` leg skips cleanly.
 """
 
 from __future__ import annotations
@@ -15,8 +21,26 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro._accel import AccelUnavailableError, load_accel, pure_namespace
 from repro.errors import SimulationError
 from repro.sim import ReferenceSimulator, Simulator
+
+
+def _sim_builds():
+    builds = [pytest.param(pure_namespace("repro.sim.simulator")["Simulator"],
+                           id="pure")]
+    try:
+        compiled = load_accel("repro.sim.simulator").Simulator
+    except AccelUnavailableError:
+        builds.append(pytest.param(None, id="accel", marks=pytest.mark.skip(
+            reason="no compiled kernel build present")))
+    else:
+        builds.append(pytest.param(compiled, id="accel"))
+    return builds
+
+
+#: Both kernel builds of the optimized Simulator (accel skips when absent).
+SIM_BUILDS = _sim_builds()
 
 #: A small palette of delays keeps schedules collision-rich (many events at
 #: the same instant, where ordering bugs live) while exercising both the
@@ -50,18 +74,20 @@ def run_callback_program(sim_class, program):
     return log, sim.now
 
 
+@pytest.mark.parametrize("fast_class", SIM_BUILDS)
 @given(program=PROGRAMS)
 @settings(max_examples=60, deadline=None)
-def test_callback_trees_equivalent(program):
-    fast_log, fast_now = run_callback_program(Simulator, program)
+def test_callback_trees_equivalent(fast_class, program):
+    fast_log, fast_now = run_callback_program(fast_class, program)
     ref_log, ref_now = run_callback_program(ReferenceSimulator, program)
     assert fast_log == ref_log
     assert fast_now == ref_now
 
 
+@pytest.mark.parametrize("fast_class", SIM_BUILDS)
 @given(program=PROGRAMS, until=st.sampled_from([0.0, 0.001, 0.5, 2.0]))
 @settings(max_examples=40, deadline=None)
-def test_bounded_run_equivalent(program, until):
+def test_bounded_run_equivalent(fast_class, program, until):
     """run(until=...) stops at the same point and clock on both kernels."""
 
     def run_bounded(sim_class):
@@ -78,7 +104,7 @@ def test_bounded_run_equivalent(program, until):
         sim.run(until=until)
         return log, sim.now, sim.pending_count
 
-    assert run_bounded(Simulator) == run_bounded(ReferenceSimulator)
+    assert run_bounded(fast_class) == run_bounded(ReferenceSimulator)
 
 
 #: Process scripts: a sequence of timeout delays per process; processes are
@@ -108,22 +134,24 @@ def run_process_program(sim_class, scripts):
     return log, sim.now
 
 
+@pytest.mark.parametrize("fast_class", SIM_BUILDS)
 @given(scripts=PROCESS_SCRIPTS)
 @settings(max_examples=60, deadline=None)
-def test_nested_processes_equivalent(scripts):
-    fast = run_process_program(Simulator, scripts)
+def test_nested_processes_equivalent(fast_class, scripts):
+    fast = run_process_program(fast_class, scripts)
     ref = run_process_program(ReferenceSimulator, scripts)
     assert fast == ref
 
 
-def test_pending_and_scheduled_counts_agree():
+@pytest.mark.parametrize("fast_class", SIM_BUILDS)
+def test_pending_and_scheduled_counts_agree(fast_class):
     def load(sim_class):
         sim = sim_class()
         for delay in (0.0, 0.0, 1.0, 2.0):
             sim.schedule(delay, lambda: None)
         return sim
 
-    fast, ref = load(Simulator), load(ReferenceSimulator)
+    fast, ref = load(fast_class), load(ReferenceSimulator)
     assert fast.pending_count == ref.pending_count == 4
     assert fast.scheduled_count == ref.scheduled_count == 4
     fast.step()
@@ -131,8 +159,9 @@ def test_pending_and_scheduled_counts_agree():
     assert fast.pending_count == ref.pending_count == 3
 
 
-def test_negative_delay_rejected_by_both():
-    for sim_class in (Simulator, ReferenceSimulator):
+@pytest.mark.parametrize("fast_class", SIM_BUILDS)
+def test_negative_delay_rejected_by_both(fast_class):
+    for sim_class in (fast_class, ReferenceSimulator):
         with pytest.raises(SimulationError):
             sim_class().schedule(-0.5, lambda: None)
 

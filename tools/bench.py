@@ -34,9 +34,24 @@ BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-import bench_hotpath  # noqa: E402  (needs the path setup above)
+import bench_accel  # noqa: E402  (needs the path setup above)
+import bench_hotpath  # noqa: E402
 
 SCHEMA_VERSION = 1
+
+
+def current_build() -> dict:
+    """The kernel build this process runs: ``{"mode": ..., "backend": ...}``.
+
+    ``mode`` is what the loader actually selected ("pure"/"accel"); the
+    backend is reported only when the mode is accel, so a built-but-
+    disabled checkout (``REPRO_ACCEL=0``) still counts as pure.
+    """
+    import repro
+
+    mode = repro.build_mode()
+    backend = repro.accel_backend() if mode == "accel" else None
+    return {"mode": mode, "backend": backend}
 
 #: ``--profile`` targets: benchmark name -> zero-arg callable factory.
 #: Each runs one suite workload once at the chosen mode's sizing.
@@ -111,12 +126,22 @@ def build_baseline() -> dict:
             "python": platform.python_version(),
             "machine": platform.machine(),
             "system": platform.system(),
+            # The kernel build the pure metric tables were measured under.
+            # --check refuses to compare metrics across differing builds.
+            "build_mode": current_build()["mode"],
+            "build_backend": current_build()["backend"],
         },
         "metrics": full["metrics"],
         "determinism": full["determinism"],
         "smoke_metrics": smoke["metrics"],
         "smoke_determinism": smoke["determinism"],
     }
+    accel = bench_accel.run_accel_suite("full")
+    if accel is not None:
+        # Side-by-side pure-vs-compiled cells: measured in one process
+        # from explicit class handles, so they are build-mode independent
+        # and live in their own section (absent on pure-only checkouts).
+        document["accel"] = accel
     previous = load_baseline()
     if previous is not None and "seed_baseline" in previous:
         document["seed_baseline"] = previous["seed_baseline"]
@@ -136,28 +161,103 @@ def load_baseline() -> dict | None:
 
 
 def check(baseline: dict, fresh: dict, mode: str, tolerance: float,
-          out=print) -> bool:
+          out=print, digest_only: bool = False) -> bool:
     """Compare a fresh suite run against the committed baseline.
 
     Returns ``True`` when the gate passes.  Rates may not drop more than
     ``tolerance`` (fractional); determinism digests must match exactly.
+
+    Metric comparison is refused (gate fails with an explanation) when
+    the baseline was measured under a different kernel build than this
+    process runs: comparing pure wall-clock against compiled wall-clock
+    reports multi-x "slowdowns" that are build artifacts, not
+    regressions.  ``digest_only=True`` skips the metric tables entirely
+    and gates just the determinism digests — which must be bit-identical
+    across builds, so that comparison is always legal.
     """
     metrics_key = "metrics" if mode == "full" else "smoke_metrics"
     digest_key = "determinism" if mode == "full" else "smoke_determinism"
+    if not digest_only:
+        baseline_build = baseline.get("host", {}).get("build_mode", "pure")
+        fresh_build = fresh.get("build", current_build())["mode"]
+        if baseline_build != fresh_build:
+            out(f"REFUSED: baseline metrics were measured under the "
+                f"'{baseline_build}' kernel build but this run uses "
+                f"'{fresh_build}' — wall-clock rates are not comparable "
+                f"across builds.")
+            out("Use --digest-only to gate the (build-independent) "
+                "determinism digests, or re-baseline with --update under "
+                "the matching build.")
+            return False
     # Like-for-like only: a smoke run is gated exclusively against the
     # smoke tables and a full run against the full tables (their sizings
     # differ severalfold, so cross-comparison is meaningless).  A baseline
     # missing its mode's tables fails rather than vacuously passing.
     missing = [key for key in (metrics_key, digest_key)
                if key not in baseline]
+    if digest_only:
+        missing = [key for key in (digest_key,) if key not in baseline]
     if missing:
         out(f"baseline has no {'/'.join(missing)} table(s) for "
             f"mode={mode}; run --update first")
         return False
-    committed = baseline[metrics_key]
     ok = True
-    for name, old in committed.items():
-        new = fresh["metrics"].get(name)
+    if not digest_only:
+        committed = baseline[metrics_key]
+        for name, old in committed.items():
+            new = fresh["metrics"].get(name)
+            if new is None:
+                out(f"MISSING  {name}: present in baseline, absent in "
+                    f"fresh run")
+                ok = False
+                continue
+            ratio = new / old if old > 0 else float("inf")
+            verdict = "ok"
+            if ratio < 1.0 - tolerance:
+                verdict = "REGRESSED"
+                ok = False
+            out(f"{verdict:>9}  {name}: {_fmt(old)} -> {_fmt(new)} "
+                f"({ratio:.2f}x)")
+        if mode == "full":
+            # The accel section is measured at full sizing only.
+            ok = _check_accel(baseline, fresh, tolerance, out) and ok
+    committed_digest = baseline[digest_key]
+    fresh_digest = fresh["determinism"]
+    for name, old in committed_digest.items():
+        new = fresh_digest.get(name)
+        if new != old:
+            out(f"DETERMINISM BROKEN  {name}: {old} -> {new}")
+            ok = False
+    return ok
+
+
+def _check_accel(baseline: dict, fresh: dict, tolerance: float,
+                 out=print) -> bool:
+    """Gate the side-by-side ``accel_*`` cells when both sides have them.
+
+    The accel section is measured from explicit class handles, so it is
+    comparable regardless of the ambient build mode — but only within one
+    backend, and only when a compiled build exists on the checking host.
+    A fresh run without a compiled build skips the section with a note
+    (pure checkouts must still pass the gate).
+    """
+    committed = baseline.get("accel")
+    if committed is None:
+        return True
+    measured = fresh.get("accel")
+    if measured is None:
+        out("note: baseline has accel cells but no compiled build is "
+            "present here — accel section skipped")
+        return True
+    if measured.get("backend") != committed.get("backend"):
+        out(f"note: accel backend changed "
+            f"({committed.get('backend')} -> {measured.get('backend')}) — "
+            f"accel cells not comparable, section skipped "
+            f"(re-baseline with --update)")
+        return True
+    ok = True
+    for name, old in committed["metrics"].items():
+        new = measured["metrics"].get(name)
         if new is None:
             out(f"MISSING  {name}: present in baseline, absent in fresh run")
             ok = False
@@ -169,13 +269,6 @@ def check(baseline: dict, fresh: dict, mode: str, tolerance: float,
             ok = False
         out(f"{verdict:>9}  {name}: {_fmt(old)} -> {_fmt(new)} "
             f"({ratio:.2f}x)")
-    committed_digest = baseline[digest_key]
-    fresh_digest = fresh["determinism"]
-    for name, old in committed_digest.items():
-        new = fresh_digest.get(name)
-        if new != old:
-            out(f"DETERMINISM BROKEN  {name}: {old} -> {new}")
-            ok = False
     return ok
 
 
@@ -190,6 +283,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional slowdown for --check "
                              "(default 0.25)")
+    parser.add_argument("--digest-only", action="store_true",
+                        help="with --check: gate only the determinism "
+                             "digests (legal across kernel builds; metric "
+                             "tables are skipped)")
     parser.add_argument("--output", type=pathlib.Path, default=BASELINE_PATH,
                         help="baseline file to write (--update) or read "
                              "(--check)")
@@ -219,7 +316,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     mode = "smoke" if args.smoke else "full"
-    suite = bench_hotpath.run_suite(mode, jobs=args.jobs)
+
+    def collect() -> dict:
+        suite = bench_hotpath.run_suite(mode, jobs=args.jobs)
+        suite["build"] = current_build()
+        if mode == "full" and not args.digest_only:
+            accel = bench_accel.run_accel_suite("full")
+            if accel is not None:
+                suite["accel"] = accel
+        return suite
 
     if args.check:
         baseline_path = args.output
@@ -227,20 +332,35 @@ def main(argv: list[str] | None = None) -> int:
             print(f"no baseline at {baseline_path}; run --update first")
             return 1
         baseline = json.loads(baseline_path.read_text())
-        passed = check(baseline, suite, mode, args.tolerance)
+        if not args.digest_only:
+            # Refuse cross-build comparison before burning a suite run.
+            probe = {"build": current_build(), "metrics": {},
+                     "determinism": {}}
+            baseline_build = baseline.get("host", {}).get("build_mode",
+                                                          "pure")
+            if baseline_build != probe["build"]["mode"]:
+                check(baseline, probe, mode, args.tolerance,
+                      digest_only=False)
+                print(f"gate: FAIL (mode={mode}, cross-build refusal)")
+                return 1
+        suite = collect()
+        passed = check(baseline, suite, mode, args.tolerance,
+                       digest_only=args.digest_only)
         if not passed:
             # One retry before failing: a single wall-clock measurement on a
             # shared/virtualized host can dip well past tolerance from CPU
             # steal alone.  A real regression fails both runs; determinism
             # breaks fail both runs by construction.
             print("gate: retrying once (first run exceeded tolerance) ...")
-            suite = bench_hotpath.run_suite(mode, jobs=args.jobs)
-            passed = check(baseline, suite, mode, args.tolerance)
+            suite = collect()
+            passed = check(baseline, suite, mode, args.tolerance,
+                           digest_only=args.digest_only)
         print("gate:", "PASS" if passed else "FAIL",
-              f"(mode={mode}, tolerance={args.tolerance:.0%})")
+              f"(mode={mode}, tolerance={args.tolerance:.0%}"
+              f"{', digest-only' if args.digest_only else ''})")
         return 0 if passed else 1
 
-    print_report(suite)
+    print_report(collect())
     return 0
 
 
