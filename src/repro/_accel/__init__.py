@@ -187,6 +187,19 @@ def pure_namespace(canonical: str) -> typing.Dict[str, typing.Any]:
 
     Importing the canonical module on demand guarantees the snapshot
     exists (the module's own install hook takes it before any swap).
+
+    .. caution:: The snapshot is pure at the *module* boundary only.  It
+       is taken at the end of the module body, after the module resolved
+       its own imports — and under a build that compiles several kernel
+       modules, an upstream kernel import may already have been swapped.
+       Example: under the full mypyc build, the "pure" ``Process`` binds
+       the compiled ``Event`` as its base class, so a differential suite
+       driving this snapshot partially exercises compiled code.  For a
+       fully pure reference arm, run the pure leg in a subprocess with
+       ``REPRO_ACCEL=0`` (as ``tools/bench.py --check`` and the
+       dual-build digest tests do); in-process snapshot comparisons are
+       exact under the ckernel backend, whose three compiled modules
+       import only kernel modules that stay pure.
     """
     if canonical not in _pure:
         importlib.import_module(canonical)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import typing
 
+from repro._accel import mypyc_attr
 from repro.errors import SimulationError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -28,8 +29,18 @@ __all__ = ["Event", "Timeout", "Condition", "AllOf", "AnyOf"]
 _PENDING: typing.Final[object] = object()
 
 
+@mypyc_attr(allow_interpreted_subclasses=True)
 class Event:
     """A one-shot occurrence in simulated time.
+
+    Interpreted code subclasses Event even under a fully compiled build:
+    the pure body of :mod:`repro.sim.process` always executes (its accel
+    hook runs last), so ``class Process(Event)`` sees whatever Event the
+    already-swapped events namespace exports — the ``mypyc_attr`` escape
+    hatch keeps that legal when it is the compiled one.  Timeout,
+    Condition, AllOf, and AnyOf have no interpreted subclasses (their
+    only subclasses live in this module, defined before any swap), so
+    they stay fully native.
 
     Args:
         sim: The owning simulator.

@@ -35,6 +35,7 @@ sys.path.insert(0, str(REPO_ROOT / "tools"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import bench as bench_cli  # noqa: E402
+import build_accel as build_cli  # noqa: E402
 
 
 def compiled_kernel_modules():
@@ -152,6 +153,25 @@ class TestLoaderSemantics:
                      "marker": sentinel}
         install(namespace)
         assert namespace["marker"] is sentinel
+
+    @needs_accel
+    def test_interpreted_subclass_of_swapped_event_is_legal(self):
+        """The pure body of sim/process.py always executes and subclasses
+        whatever Event the (possibly swapped) events namespace exports —
+        so under any build, interpreted ``class X(Event)`` must work.
+        Under the mypyc backend this exercises the
+        ``allow_interpreted_subclasses`` escape hatch on the compiled
+        Event; a build without it makes every ``import repro`` die here."""
+        result = run_py(
+            "import repro.sim.process\n"
+            "from repro.sim.events import Event\n"
+            "class Probe(Event):\n"
+            "    __slots__ = ()\n"
+            "print('subclassed')\n",
+            REPRO_ACCEL="1",
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "subclassed"
 
     def test_pure_namespace_survives_the_swap(self):
         """The snapshot hands back genuine pure-Python classes even when
@@ -349,6 +369,44 @@ class TestBenchBuildGate:
         assert not bench_cli.check(self.baseline("pure", accel=committed),
                                    self.fresh("pure", accel=measured),
                                    "full", 0.25, out=lambda *_: None)
+
+
+class TestBuildSwapVerification:
+    """``build_accel.py`` must prove the build is usable with the swap
+    active (REPRO_ACCEL=1, canonical imports) — a twin that imports in
+    isolation but breaks the swapped package would otherwise pass
+    verification, write its manifest, and brick the checkout."""
+
+    @needs_accel
+    def test_verify_swap_passes_on_a_healthy_build(self):
+        assert build_cli.verify_swap()
+
+    def test_failed_swap_verification_removes_the_build(
+            self, monkeypatch, tmp_path):
+        accel_dir = tmp_path / "_accel"
+        accel_dir.mkdir()
+        manifest = accel_dir / "_manifest.json"
+        # Redirect every artifact path into tmp so the real clean() runs
+        # without touching the checkout's actual build.
+        monkeypatch.setattr(build_cli, "ACCEL_DIR", str(accel_dir))
+        monkeypatch.setattr(build_cli, "MYC_DIR", str(accel_dir / "_myc"))
+        monkeypatch.setattr(build_cli, "MANIFEST", str(manifest))
+        monkeypatch.setattr(build_cli, "have_c_toolchain", lambda: True)
+        monkeypatch.setattr(build_cli, "build_ckernel",
+                            lambda: sorted(build_cli.CKERNEL_SOURCES))
+        monkeypatch.setattr(build_cli, "verify_import", lambda canonical: True)
+        manifest_active = []
+
+        def failing_swap():
+            manifest_active.append(manifest.is_file())
+            return False
+
+        monkeypatch.setattr(build_cli, "verify_swap", failing_swap)
+        assert build_cli.main(["--backend", "ckernel"]) == 1
+        # The probe ran with the freshly written manifest active...
+        assert manifest_active == [True]
+        # ...and the failed build left no manifest behind.
+        assert not manifest.is_file()
 
 
 class TestVersionReporting:

@@ -143,6 +143,40 @@ def verify_import(canonical: str) -> bool:
     return True
 
 
+def verify_swap() -> bool:
+    """Can the canonical package import with the manifest active?
+
+    Runs after the manifest is written, with ``REPRO_ACCEL=1``, importing
+    every canonical kernel module in a clean interpreter.  This is the
+    check :func:`verify_import` cannot make: a twin can import fine in
+    isolation yet break the package once the loader swaps it in — e.g. a
+    compiled base class that rejects the interpreted subclasses defined
+    by the pure module bodies that always execute to reach their install
+    hooks.  A build that fails here would brick every ``import repro``
+    until ``--clean``, so it must never leave a manifest behind."""
+    env = dict(os.environ)
+    env["REPRO_ACCEL"] = "1"
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    code = (
+        "import repro\n"
+        + "".join(f"import {name}\n" for name in sorted(KERNEL_MODULES))
+        + "import repro._accel as _accel\n"
+        "assert _accel.build_mode() == 'accel', _accel.accel_status()\n"
+    )
+    probe = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if probe.returncode != 0:
+        log("canonical import under REPRO_ACCEL=1 failed with the swap "
+            "active:")
+        sys.stderr.write(probe.stderr)
+        return False
+    return True
+
+
 def write_manifest(backend: str, modules: list) -> None:
     payload = {"backend": backend, "modules": sorted(modules)}
     with open(MANIFEST, "w", encoding="utf-8") as handle:
@@ -316,6 +350,10 @@ def status() -> int:
         ok = verify_import(canonical)
         log(f"  {canonical}: {'ok' if ok else 'BROKEN'}")
         failures += 0 if ok else 1
+    swap_ok = verify_swap()
+    log(f"  swap (REPRO_ACCEL=1 canonical import): "
+        f"{'ok' if swap_ok else 'BROKEN'}")
+    failures += 0 if swap_ok else 1
     return 1 if failures else 0
 
 
@@ -390,6 +428,10 @@ def main(argv=None) -> int:
         clean(verbose=False)
         return 1
     write_manifest(backend, modules)
+    if not verify_swap():
+        log("swap verification failed — removing the broken build")
+        clean(verbose=False)
+        return 1
     log("done — set REPRO_ACCEL=1 to require the compiled kernel")
     return 0
 
